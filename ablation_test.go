@@ -1,0 +1,193 @@
+package unikraft
+
+// Ablation benchmarks for the design choices the paper argues for:
+// run-to-completion vs preemptive scheduling (§3.3), virtqueue kick
+// batching and interrupt-vs-polling receive (§3.1), syscall-shim
+// compile-time linking vs run-time translation (§4), and DCE/LTO
+// contributions to image size (§3, Fig 8). Each reports the two sides of
+// the trade-off as metrics from one run.
+
+import (
+	"testing"
+
+	"unikraft/internal/netstack"
+	"unikraft/internal/sim"
+	"unikraft/internal/ukbuild"
+	"unikraft/internal/uknetdev"
+	"unikraft/internal/uksched"
+	"unikraft/internal/ukshim"
+)
+
+// BenchmarkAblationSchedulerPolicy: the same CPU-bound workload under
+// the cooperative and preemptive schedulers — the §3.3 jitter argument
+// for run-to-completion images.
+func BenchmarkAblationSchedulerPolicy(b *testing.B) {
+	run := func(policy uksched.Policy) uint64 {
+		m := sim.NewMachine()
+		s := uksched.New(policy, m)
+		defer s.Shutdown()
+		s.SetTimeslice(36_000) // 10us quantum: a busy VNF-style guest
+		for i := 0; i < 4; i++ {
+			s.NewThread("worker", func(th *uksched.Thread) {
+				for j := 0; j < 50; j++ {
+					th.Charge(100_000) // 27.8us of packet work per batch
+					th.Yield()
+				}
+			})
+		}
+		s.Run()
+		return m.CPU.Cycles()
+	}
+	var coop, preempt uint64
+	for i := 0; i < b.N; i++ {
+		coop = run(uksched.Cooperative)
+		preempt = run(uksched.Preemptive)
+	}
+	b.ReportMetric(float64(coop), "coop-cycles")
+	b.ReportMetric(float64(preempt), "preempt-cycles")
+	b.ReportMetric(float64(preempt-coop)/float64(coop)*100, "preempt-overhead-pct")
+}
+
+// BenchmarkAblationKickBatching: one virtqueue kick per packet versus
+// one per burst — why uk_netdev_tx_burst takes arrays (§3.1).
+func BenchmarkAblationKickBatching(b *testing.B) {
+	send := func(burst int) uint64 {
+		ma, mb := sim.NewMachine(), sim.NewMachine()
+		dev, _, err := uknetdev.NewPair(ma, mb, uknetdev.VhostNet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkts := make([]*uknetdev.Netbuf, burst)
+		for i := range pkts {
+			pkts[i] = uknetdev.NewNetbuf(0, 128)
+			pkts[i].Len = 64
+		}
+		const total = 1024
+		before := ma.CPU.Cycles()
+		for sent := 0; sent < total; sent += burst {
+			dev.TxBurst(0, pkts)
+		}
+		return ma.CPU.Cycles() - before
+	}
+	var perPacket, batched uint64
+	for i := 0; i < b.N; i++ {
+		perPacket = send(1)
+		batched = send(32)
+	}
+	b.ReportMetric(float64(perPacket)/1024, "kick-per-pkt-cycles/pkt")
+	b.ReportMetric(float64(batched)/1024, "kick-per-burst-cycles/pkt")
+}
+
+// BenchmarkAblationSyscallLinking: the §4 argument in one bench — the
+// same syscall workload under compile-time linking (function calls),
+// run-time translation (Unikraft binary compat) and a Linux trap.
+func BenchmarkAblationSyscallLinking(b *testing.B) {
+	cost := func(mode ukshim.Mode) uint64 {
+		m := sim.NewMachine()
+		sh := ukshim.New(m, mode)
+		ukshim.RegisterProcessSyscalls(sh)
+		before := m.CPU.Cycles()
+		for i := 0; i < 1000; i++ {
+			sh.Invoke(ukshim.SysGetpid, [6]uint64{})
+		}
+		return (m.CPU.Cycles() - before) / 1000
+	}
+	var linked, translated, linux uint64
+	for i := 0; i < b.N; i++ {
+		linked = cost(ukshim.ModeFunctionCall)
+		translated = cost(ukshim.ModeUnikraftTrap)
+		linux = cost(ukshim.ModeLinuxTrap)
+	}
+	b.ReportMetric(float64(linked), "compile-time-linked-cycles")
+	b.ReportMetric(float64(translated), "runtime-translated-cycles")
+	b.ReportMetric(float64(linux), "linux-trap-cycles")
+}
+
+// BenchmarkAblationLinkerPasses: isolate how much of the nginx image
+// each optimization removes (the Fig 8 sweep as deltas).
+func BenchmarkAblationLinkerPasses(b *testing.B) {
+	var def, lto, dce int
+	for i := 0; i < b.N; i++ {
+		for _, c := range []struct {
+			opts ukbuild.Options
+			out  *int
+		}{
+			{ukbuild.Options{}, &def},
+			{ukbuild.Options{LTO: true}, &lto},
+			{ukbuild.Options{DCE: true}, &dce},
+		} {
+			img, err := BuildApp("nginx", PlatformKVM, c.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			*c.out = img.Bytes
+		}
+	}
+	b.ReportMetric(float64(def-lto)/1024, "lto-saves-KB")
+	b.ReportMetric(float64(def-dce)/1024, "dce-saves-KB")
+	b.ReportMetric(float64(dce)/1024, "final-KB")
+}
+
+// BenchmarkAblationSocketLayer: the per-request cost of each layer the
+// §6.4 specialization peels away, measured as UDP echo cost through the
+// socket API versus raw frames (Table 4's mechanism, isolated from app
+// logic).
+func BenchmarkAblationSocketLayer(b *testing.B) {
+	var viaSockets, raw uint64
+	for i := 0; i < b.N; i++ {
+		// Socket path: one datagram through two full stacks.
+		cm, sm := sim.NewMachine(), sim.NewMachine()
+		cd, sd, err := uknetdev.NewPair(cm, sm, uknetdev.VhostUser)
+		if err != nil {
+			b.Fatal(err)
+		}
+		client := netstack.New(cm, cd, netstack.Config{Addr: netstack.IP(10, 0, 0, 1)})
+		server := netstack.New(sm, sd, netstack.Config{Addr: netstack.IP(10, 0, 0, 2)})
+		srv, err := server.BindUDP(9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cli, err := client.BindUDP(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm := func() {
+			cli.SendTo(netstack.AddrPort{Addr: netstack.IP(10, 0, 0, 2), Port: 9}, []byte("w"))
+			netstack.Pump(client, server)
+			srv.RecvFrom()
+		}
+		warm()
+		before := sm.CPU.Cycles()
+		for j := 0; j < 64; j++ {
+			cli.SendTo(netstack.AddrPort{Addr: netstack.IP(10, 0, 0, 2), Port: 9}, []byte("x"))
+		}
+		netstack.Pump(client, server)
+		for {
+			if _, ok := srv.RecvFrom(); !ok {
+				break
+			}
+		}
+		viaSockets = (sm.CPU.Cycles() - before) / 64
+
+		// Raw path: the same 64 frames consumed straight off the ring.
+		cm2, sm2 := sim.NewMachine(), sim.NewMachine()
+		cd2, sd2, err := uknetdev.NewPair(cm2, sm2, uknetdev.VhostUser)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame := uknetdev.NewNetbuf(0, 128)
+		frame.Len = 64
+		for j := 0; j < 64; j++ {
+			cd2.TxBurst(0, []*uknetdev.Netbuf{frame})
+		}
+		rx := make([]*uknetdev.Netbuf, 64)
+		for j := range rx {
+			rx[j] = uknetdev.NewNetbuf(0, 2048)
+		}
+		before = sm2.CPU.Cycles()
+		sd2.RxBurst(0, rx)
+		raw = (sm2.CPU.Cycles() - before) / 64
+	}
+	b.ReportMetric(float64(viaSockets), "socket-path-cycles/pkt")
+	b.ReportMetric(float64(raw), "raw-path-cycles/pkt")
+}

@@ -1,0 +1,43 @@
+// Command ukbench regenerates the paper's tables and figures.
+//
+//	ukbench -list            enumerate experiments
+//	ukbench fig12 tab4 ...   run selected experiments
+//	ukbench -all             run everything (several minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"unikraft/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs")
+	all := flag.Bool("all", false, "run every experiment")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-7s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+	ids := flag.Args()
+	if *all {
+		ids = experiments.IDs()
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ukbench [-list|-all] [experiment-id...]")
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ukbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+	}
+}

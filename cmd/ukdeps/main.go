@@ -1,0 +1,73 @@
+// Command ukdeps exports and compares dependency graphs (Figures 1-3).
+//
+//	ukdeps -linux            DOT of the Linux kernel component graph
+//	ukdeps -app nginx        DOT of an image's micro-library graph
+//	ukdeps -compare nginx    density comparison vs Linux
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"unikraft/internal/core"
+	"unikraft/internal/depgraph"
+)
+
+func imageGraph(appName string) (*depgraph.Graph, error) {
+	cat := core.DefaultCatalog()
+	app, ok := core.AppByName(appName)
+	if !ok {
+		return nil, fmt.Errorf("unknown app %q", appName)
+	}
+	providers := map[string]string{
+		"libc": app.Libc, "ukalloc": app.Allocator, "plat": "plat-kvm",
+	}
+	if app.Scheduler != "" {
+		providers["uksched"] = app.Scheduler
+	}
+	if app.NICs > 0 {
+		providers["netstack"] = "lwip"
+		providers["netdev"] = "uknetdev"
+	}
+	closure, err := cat.Closure([]string{app.Lib}, providers)
+	if err != nil {
+		return nil, err
+	}
+	return depgraph.FromClosure(appName, closure, providers), nil
+}
+
+func main() {
+	linux := flag.Bool("linux", false, "emit the Linux kernel graph (Fig 1)")
+	app := flag.String("app", "", "emit an image graph (Figs 2-3)")
+	compare := flag.String("compare", "", "compare an image graph against Linux")
+	flag.Parse()
+
+	switch {
+	case *linux:
+		fmt.Print(depgraph.LinuxKernelGraph().DOT())
+	case *app != "":
+		g, err := imageGraph(*app)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ukdeps:", err)
+			os.Exit(1)
+		}
+		fmt.Print(g.DOT())
+	case *compare != "":
+		g, err := imageGraph(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ukdeps:", err)
+			os.Exit(1)
+		}
+		l := depgraph.LinuxKernelGraph()
+		c := depgraph.Analyze(l, g)
+		fmt.Printf("linux: %d nodes, %d edges, density %.2f, %.0f refs/component\n",
+			l.NodeCount(), l.EdgeCount(), l.Density(), c.LinuxWeightPerNode)
+		fmt.Printf("%s: %d nodes, %d edges, density %.2f, %.1f deps/library\n",
+			*compare, g.NodeCount(), g.EdgeCount(), g.Density(), c.ImageWeightPerNode)
+		fmt.Printf("linux is %.1fx denser\n", c.DensityRatio)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: ukdeps -linux | -app <name> | -compare <name>")
+		os.Exit(2)
+	}
+}

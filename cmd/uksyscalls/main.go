@@ -1,0 +1,48 @@
+// Command uksyscalls runs the application-compatibility analysis
+// (Figures 5 and 7).
+//
+//	uksyscalls -heatmap      the Fig 5 text heatmap
+//	uksyscalls -apps         per-app support progression (Fig 7)
+//	uksyscalls -missing 10   most-wanted unimplemented syscalls
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"unikraft/internal/syscalls"
+)
+
+func main() {
+	heatmap := flag.Bool("heatmap", false, "render the Fig 5 heatmap")
+	apps := flag.Bool("apps", false, "per-app support table (Fig 7)")
+	missing := flag.Int("missing", 0, "show top-N missing syscalls")
+	flag.Parse()
+
+	a := syscalls.Analyze(syscalls.Top30Apps(), syscalls.SupportedNumbers)
+	did := false
+	if *heatmap {
+		did = true
+		fmt.Println("Fig 5 heatmap: shade = how many of 30 apps need the syscall")
+		fmt.Println("('!' = needed but unsupported; blank = unused+unsupported)")
+		fmt.Print(a.Heatmap(32))
+	}
+	if *apps {
+		did = true
+		fmt.Printf("%-15s %10s %8s %8s\n", "app", "supported%", "+top5%", "+top10%")
+		for _, row := range a.Fig7() {
+			fmt.Printf("%-15s %10.1f %8.1f %8.1f\n", row.App, row.Base, row.Top5, row.Top10)
+		}
+	}
+	if *missing > 0 {
+		did = true
+		fmt.Printf("top %d missing syscalls by app demand:\n", *missing)
+		for _, nr := range a.TopMissing(*missing) {
+			fmt.Printf("  %3d %-16s needed by %d/30 apps\n", nr, syscalls.Name(nr), a.UsageCount[nr])
+		}
+	}
+	if !did {
+		fmt.Printf("unikraft supports %d syscalls; run with -heatmap, -apps or -missing N\n",
+			len(syscalls.SupportedNumbers))
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: build a specialized helloworld unikernel for three
+// platforms, inspect the image sizes with and without dead code
+// elimination, and boot it under several VMMs — the paper's §3 and
+// Fig 10 pipeline in a dozen lines of library calls.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unikraft"
+)
+
+func main() {
+	fmt.Println("== building helloworld images (Fig 8 pipeline) ==")
+	for _, platform := range []string{unikraft.PlatformKVM, unikraft.PlatformXen} {
+		for _, opts := range []unikraft.BuildOptions{{}, {DCE: true, LTO: true}} {
+			img, err := unikraft.BuildApp("helloworld", platform, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-6s dce=%-5v lto=%-5v -> %7.1fKB (%d micro-libraries, %d symbols)\n",
+				platform, opts.DCE, opts.LTO, float64(img.Bytes)/1024, len(img.Libs), img.Symbols)
+		}
+	}
+
+	fmt.Println("\n== booting under different VMMs (Fig 10) ==")
+	for _, vmm := range []string{"qemu", "qemu-microvm", "firecracker", "solo5-hvt"} {
+		vm, err := unikraft.BootApp("helloworld", unikraft.BootOptions{VMM: vmm, MemBytes: 8 << 20})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s vmm=%-10v guest=%-10v total=%v\n",
+			vmm, vm.Report.VMM, vm.Report.Guest, vm.Report.Total())
+		vm.Close()
+	}
+
+	fmt.Println("\n== guest boot breakdown (qemu) ==")
+	vm, err := unikraft.BootApp("helloworld", unikraft.BootOptions{MemBytes: 8 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer vm.Close()
+	fmt.Print(unikraft.FormatBootReport(vm.Report))
+
+	min, err := unikraft.MinMemory("helloworld")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nminimum memory to boot helloworld: %dMB (paper Fig 11: 2MB)\n", min>>20)
+}

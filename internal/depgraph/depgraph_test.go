@@ -1,0 +1,121 @@
+package depgraph
+
+import (
+	"strings"
+	"testing"
+
+	"unikraft/internal/core"
+)
+
+func imageGraph(t *testing.T, appName string) *Graph {
+	t.Helper()
+	cat := core.DefaultCatalog()
+	app, ok := core.AppByName(appName)
+	if !ok {
+		t.Fatal(appName)
+	}
+	providers := map[string]string{
+		"libc": app.Libc, "ukalloc": app.Allocator, "plat": "plat-kvm",
+	}
+	if app.Scheduler != "" {
+		providers["uksched"] = app.Scheduler
+	}
+	if app.NICs > 0 {
+		providers["netstack"] = "lwip"
+		providers["netdev"] = "uknetdev"
+	}
+	closure, err := cat.Closure([]string{app.Lib}, providers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromClosure(appName, closure, providers)
+}
+
+// TestFig1LinuxDataset sanity-checks the encoded Figure 1 graph.
+func TestFig1LinuxDataset(t *testing.T) {
+	g := LinuxKernelGraph()
+	if g.NodeCount() != 10 {
+		t.Fatalf("nodes = %d", g.NodeCount())
+	}
+	if g.EdgeCount() < 50 {
+		t.Fatalf("edges = %d, want the dense Fig 1 graph", g.EdgeCount())
+	}
+	// Figure 1's headline annotations.
+	want := map[[2]string]int{
+		{"fs", "mm"}:      277,
+		{"fs", "net"}:     311,
+		{"block", "fs"}:   551,
+		{"ipc", "sched"}:  720,
+		{"block", "time"}: 465,
+	}
+	for _, e := range g.Edges {
+		if w, ok := want[[2]string{e.From, e.To}]; ok && e.Weight != w {
+			t.Errorf("%s->%s weight = %d, want %d", e.From, e.To, e.Weight, w)
+		}
+	}
+	if g.Density() < 0.5 {
+		t.Errorf("Linux graph density = %.2f; the paper's point is that it is dense", g.Density())
+	}
+}
+
+// TestFig2NginxGraphSparse: the nginx Unikraft image graph is far
+// sparser than the Linux component graph.
+func TestFig2NginxGraphSparse(t *testing.T) {
+	nginx := imageGraph(t, "nginx")
+	linux := LinuxKernelGraph()
+	if nginx.NodeCount() < 10 {
+		t.Fatalf("nginx image graph only %d nodes", nginx.NodeCount())
+	}
+	cmp := Analyze(linux, nginx)
+	if cmp.DensityRatio < 3 {
+		t.Errorf("density ratio = %.1f; Linux should be several times denser", cmp.DensityRatio)
+	}
+	if cmp.ImageWeightPerNode >= cmp.LinuxWeightPerNode/10 {
+		t.Errorf("weight/node: image %.1f vs linux %.1f; expected >10x gap",
+			cmp.ImageWeightPerNode, cmp.LinuxWeightPerNode)
+	}
+}
+
+// TestFig3HelloGraphTiny: helloworld's graph matches the paper's
+// minimal set (boot, argparse, nolibc, alloc, platform, app).
+func TestFig3HelloGraphTiny(t *testing.T) {
+	hello := imageGraph(t, "helloworld")
+	if hello.NodeCount() > 8 {
+		t.Errorf("hello graph has %d nodes: %v", hello.NodeCount(), hello.Nodes)
+	}
+	wantNodes := []string{"app-helloworld", "nolibc", "ukboot", "ukargparse", "ukalloc", "ukallocbuddy", "plat-kvm"}
+	have := map[string]bool{}
+	for _, n := range hello.Nodes {
+		have[n] = true
+	}
+	for _, n := range wantNodes {
+		if !have[n] {
+			t.Errorf("hello graph missing %s (have %v)", n, hello.Nodes)
+		}
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	g := imageGraph(t, "helloworld")
+	dot := g.DOT()
+	if !strings.HasPrefix(dot, "digraph") || !strings.Contains(dot, "ukboot") {
+		t.Errorf("DOT output malformed:\n%s", dot)
+	}
+	if !strings.Contains(LinuxKernelGraph().DOT(), "label=277") {
+		t.Error("Linux DOT lacks weight labels")
+	}
+}
+
+func TestGraphMetrics(t *testing.T) {
+	g := &Graph{Name: "t", Nodes: []string{"a", "b", "c"}}
+	g.Edges = []Edge{{From: "a", To: "b", Weight: 5}, {From: "b", To: "c", Weight: 1}}
+	if g.EdgeCount() != 2 || g.TotalWeight() != 6 {
+		t.Fatalf("edges=%d weight=%d", g.EdgeCount(), g.TotalWeight())
+	}
+	if d := g.Density(); d != 2.0/6.0 {
+		t.Fatalf("density = %f", d)
+	}
+	if ad := g.AvgDegree(); ad != 2.0/3.0 {
+		t.Fatalf("avg degree = %f", ad)
+	}
+}

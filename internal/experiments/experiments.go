@@ -1,0 +1,116 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a function returning a Result (headers
+// + rows + notes); the registry maps experiment IDs ("fig12", "tab1",
+// ...) to generators. cmd/ukbench and the root bench_test.go drive them.
+//
+// Measured rows come from running the simulated systems; transcribed
+// rows (comparator OSes we cannot rebuild) are marked "paper" in their
+// source column — see DESIGN.md's substitution table.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one regenerated table/figure.
+type Result struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render prints the result as an aligned text table.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Headers)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Generator produces one experiment result.
+type Generator func() (*Result, error)
+
+var registry = map[string]Generator{}
+var titles = map[string]string{}
+
+// register adds a generator (called from init functions in this
+// package).
+func register(id, title string, g Generator) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = g
+	titles[id] = title
+}
+
+// IDs lists registered experiments, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Title returns an experiment's display title.
+func Title(id string) string { return titles[id] }
+
+// Run executes one experiment by ID.
+func Run(id string) (*Result, error) {
+	g, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return g()
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll() ([]*Result, error) {
+	var out []*Result
+	for _, id := range IDs() {
+		r, err := Run(id)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", id, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// helpers ------------------------------------------------------------------
+
+func f1(v float64) string   { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string   { return fmt.Sprintf("%.2f", v) }
+func mrps(v float64) string { return fmt.Sprintf("%.2fM", v/1e6) }
+func krps(v float64) string { return fmt.Sprintf("%.1fK", v/1e3) }

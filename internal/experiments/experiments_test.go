@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRegistryComplete: every table/figure of the evaluation is
+// regenerable.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"tab1", "tab2", "tab4",
+		"fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "txt1",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+		if Title(id) == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registered %d experiments, want %d", len(IDs()), len(want))
+	}
+}
+
+// TestFastExperiments runs every cheap experiment end to end and checks
+// structural sanity. The expensive throughput experiments have their own
+// targeted tests below and full runs in the benchmarks.
+func TestFastExperiments(t *testing.T) {
+	fast := []string{
+		"tab1", "tab2", "fig1", "fig2", "fig3", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig14", "fig19", "fig20",
+		"fig21", "fig22", "txt1",
+	}
+	for _, id := range fast {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for _, row := range res.Rows {
+				if len(row) != len(res.Headers) {
+					t.Fatalf("row width %d != header width %d: %v", len(row), len(res.Headers), row)
+				}
+			}
+			if !strings.Contains(res.Render(), res.ID) {
+				t.Fatal("render missing ID")
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99"); err == nil {
+		t.Fatal("unknown experiment ran")
+	}
+}
+
+// TestTable4Shape runs the real Table 4 measurement and validates the
+// specialization ordering: raw uknetdev >> socket path, and the raw path
+// lands in the paper's millions-per-second regime.
+func TestTable4Shape(t *testing.T) {
+	res, err := Run("tab4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sock, raw float64
+	for _, row := range res.Rows {
+		if row[0] == "unikraft-guest" && row[1] == "lwip-sockets" {
+			sock = parseK(t, row[2])
+		}
+		if row[0] == "unikraft-guest" && row[1] == "uknetdev-polling" {
+			raw = parseK(t, row[2])
+		}
+	}
+	if sock == 0 || raw == 0 {
+		t.Fatalf("missing measured rows: %v", res.Rows)
+	}
+	if raw < 8*sock {
+		t.Errorf("specialization speedup = %.1fx, want >= 8x (paper ~20x)", raw/sock)
+	}
+	if raw < 3000 || raw > 12000 { // K req/s
+		t.Errorf("raw path = %.0fK req/s, want paper-regime ~6300K", raw)
+	}
+	if sock < 150 || sock > 900 {
+		t.Errorf("socket path = %.0fK req/s, want paper-regime ~319K", sock)
+	}
+}
+
+// TestFig12Shape checks the headline result at reduced request count:
+// Unikraft beats the modelled Linux family in order.
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput run")
+	}
+	res, err := Run("fig12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := map[string]float64{}
+	for _, row := range res.Rows {
+		get[row[0]] = parseM(t, row[1])
+	}
+	uk := get["unikraft-kvm"]
+	if uk == 0 {
+		t.Fatal("no unikraft row")
+	}
+	for _, sys := range []string{"linux-native", "docker", "linux-kvm", "linux-firecracker"} {
+		if get[sys] == 0 {
+			t.Fatalf("missing %s", sys)
+		}
+		if uk <= get[sys] {
+			t.Errorf("unikraft (%.2fM) not above %s (%.2fM)", uk, sys, get[sys])
+		}
+	}
+	if !(get["linux-native"] > get["linux-kvm"] && get["linux-kvm"] > get["linux-firecracker"]) {
+		t.Errorf("linux family ordering broken: %v", get)
+	}
+	// Factor vs the KVM guest: paper 1.74x; accept a broad band.
+	if f := uk / get["linux-kvm"]; f < 1.15 || f > 3.0 {
+		t.Errorf("unikraft/linux-kvm = %.2fx, want ~1.7x", f)
+	}
+}
+
+func parseK(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "K"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func parseM(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "M"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}

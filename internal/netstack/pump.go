@@ -1,0 +1,35 @@
+package netstack
+
+// Pump drives a set of stacks to quiescence: it polls each stack in
+// turn until a full round processes no frames. Tests and benchmarks use
+// it as the "world scheduler" connecting client and server stacks over
+// a uknetdev pair.
+func Pump(stacks ...*Stack) {
+	for {
+		progress := 0
+		for _, s := range stacks {
+			progress += s.Poll()
+		}
+		if progress == 0 {
+			return
+		}
+	}
+}
+
+// PumpWithSched interleaves stack polling with scheduler draining, for
+// stacks whose sockets are consumed by blocking threads: packet input
+// wakes threads, which then run and may emit more packets.
+func PumpWithSched(run func(), stacks ...*Stack) {
+	for {
+		progress := 0
+		for _, s := range stacks {
+			progress += s.Poll()
+		}
+		if run != nil {
+			run()
+		}
+		if progress == 0 {
+			return
+		}
+	}
+}

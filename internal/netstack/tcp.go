@@ -1,0 +1,752 @@
+package netstack
+
+import (
+	"sort"
+
+	"unikraft/internal/uksched"
+)
+
+// TCP tuning. The stack implements: three-way handshake, in-order data
+// transfer with cumulative ACKs, flow control against the peer's
+// advertised window, retransmission with exponential backoff, fast
+// retransmit on three duplicate ACKs, and orderly/abortive teardown.
+// Out-of-order segments are not reassembled (the receiver dup-ACKs and
+// the sender's retransmit recovers) — a documented simplification that
+// only costs performance on lossy paths, which the paper's LAN testbed
+// does not exercise.
+const (
+	DefaultMSS    = 1460
+	tcpWindow     = 65535
+	sndBufCap     = 256 << 10
+	rcvBufCap     = 256 << 10
+	initialRTO    = 180_000_000 // 50ms at 3.6GHz
+	maxRetries    = 8
+	timeWaitCycle = 3_600_000_000 // 1s virtual 2MSL (shortened for simulation)
+)
+
+// tcpState is the RFC 793 connection state.
+type tcpState int
+
+const (
+	stClosed tcpState = iota
+	stListen
+	stSynSent
+	stSynRcvd
+	stEstablished
+	stFinWait1
+	stFinWait2
+	stCloseWait
+	stLastAck
+	stClosing
+	stTimeWait
+)
+
+var tcpStateNames = [...]string{
+	"CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
+	"FIN_WAIT_1", "FIN_WAIT_2", "CLOSE_WAIT", "LAST_ACK", "CLOSING", "TIME_WAIT",
+}
+
+func (s tcpState) String() string { return tcpStateNames[s] }
+
+// tcpSeg is one sent-but-unacknowledged segment.
+type tcpSeg struct {
+	seq     uint32
+	data    []byte
+	flags   byte // SYN/FIN occupy sequence space
+	sentAt  uint64
+	retries int
+}
+
+func (sg *tcpSeg) seqLen() uint32 {
+	n := uint32(len(sg.data))
+	if sg.flags&TCPSyn != 0 {
+		n++
+	}
+	if sg.flags&TCPFin != 0 {
+		n++
+	}
+	return n
+}
+
+// TCPConn is one TCP connection endpoint.
+type TCPConn struct {
+	stack *Stack
+	tuple FourTuple
+	state tcpState
+
+	iss, irs       uint32
+	sndUna, sndNxt uint32
+	sndWnd         uint32
+	rcvNxt         uint32
+	mss            int
+
+	sndBuf     []byte
+	retransQ   []tcpSeg
+	rcvBuf     []byte
+	finPending bool
+	finSent    bool
+	peerFin    bool
+
+	rto        uint64
+	dupAcks    int
+	timeWaitAt uint64
+
+	err error
+
+	lastWnd uint16 // last advertised receive window
+
+	rwq, wwq, cwq uksched.WaitQueue
+	parent        *Listener
+}
+
+// Listener is a passive TCP socket.
+type Listener struct {
+	stack   *Stack
+	port    uint16
+	backlog int
+	queue   []*TCPConn // established, awaiting Accept
+	wq      uksched.WaitQueue
+	closed  bool
+}
+
+// --- socket creation ----------------------------------------------------
+
+// ListenTCP opens a passive socket on port.
+func (s *Stack) ListenTCP(port uint16, backlog int) (*Listener, error) {
+	if _, used := s.tcpListen[port]; used {
+		return nil, ErrPortInUse
+	}
+	if backlog <= 0 {
+		backlog = 128
+	}
+	l := &Listener{stack: s, port: port, backlog: backlog}
+	s.tcpListen[port] = l
+	return l, nil
+}
+
+// ConnectTCP starts an active open to dst and returns immediately with
+// the connection in SYN_SENT; use Established()/ConnectBlocking to wait.
+func (s *Stack) ConnectTCP(dst AddrPort) (*TCPConn, error) {
+	lport := s.allocEphemeral(true)
+	c := &TCPConn{
+		stack: s,
+		tuple: FourTuple{
+			Local:  AddrPort{Addr: s.cfg.Addr, Port: lport},
+			Remote: dst,
+		},
+		state:  stSynSent,
+		mss:    DefaultMSS,
+		rto:    initialRTO,
+		sndWnd: tcpWindow,
+	}
+	c.iss = uint32(s.machine.Rand.Uint64())
+	c.sndUna, c.sndNxt = c.iss, c.iss
+	s.tcpConns[c.tuple] = c
+	c.sendSeg(TCPSyn, nil, true)
+	return c, nil
+}
+
+// ConnectBlocking completes the handshake, parking t while SYN is in
+// flight.
+func (s *Stack) ConnectBlocking(t *uksched.Thread, dst AddrPort) (*TCPConn, error) {
+	if err := s.blockingSupported(); err != nil {
+		return nil, err
+	}
+	c, err := s.ConnectTCP(dst)
+	if err != nil {
+		return nil, err
+	}
+	for c.state != stEstablished && c.err == nil {
+		c.cwq.Wait(t)
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c, nil
+}
+
+// --- listener API --------------------------------------------------------
+
+// Accept dequeues an established connection without blocking.
+func (l *Listener) Accept() (*TCPConn, bool) {
+	if len(l.queue) == 0 {
+		return nil, false
+	}
+	c := l.queue[0]
+	l.queue = l.queue[1:]
+	return c, true
+}
+
+// AcceptBlocking parks t until a connection is ready.
+func (l *Listener) AcceptBlocking(t *uksched.Thread) (*TCPConn, error) {
+	if err := l.stack.blockingSupported(); err != nil {
+		return nil, err
+	}
+	for {
+		if c, ok := l.Accept(); ok {
+			return c, nil
+		}
+		if l.closed {
+			return nil, ErrConnClosed
+		}
+		l.wq.Wait(t)
+	}
+}
+
+// PendingAccepts reports queued connections.
+func (l *Listener) PendingAccepts() int { return len(l.queue) }
+
+// Close stops listening; queued-but-unaccepted connections are reset.
+func (l *Listener) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	delete(l.stack.tcpListen, l.port)
+	for _, c := range l.queue {
+		c.abort(ErrConnClosed, true)
+	}
+	l.queue = nil
+	l.wq.WakeAll()
+}
+
+// --- input processing ----------------------------------------------------
+
+func (s *Stack) inputTCP(ip IPv4Header, b []byte) {
+	s.machine.Charge(costTCPSeg)
+	h, payload, err := ParseTCP(b, ip.Src, ip.Dst)
+	if err != nil {
+		s.stats.ChecksumErrors++
+		s.stats.RxDropped++
+		return
+	}
+	s.stats.TCPSegsIn++
+	tuple := FourTuple{
+		Local:  AddrPort{Addr: ip.Dst, Port: h.DstPort},
+		Remote: AddrPort{Addr: ip.Src, Port: h.SrcPort},
+	}
+	if c, ok := s.tcpConns[tuple]; ok {
+		c.segment(h, payload)
+		return
+	}
+	if l, ok := s.tcpListen[h.DstPort]; ok && h.Flags&TCPSyn != 0 && h.Flags&TCPAck == 0 {
+		l.newConnection(tuple, h)
+		return
+	}
+	// No socket: RST in response to anything but an RST.
+	if h.Flags&TCPRst == 0 {
+		s.sendRst(tuple, h)
+	}
+}
+
+func (s *Stack) sendRst(tuple FourTuple, h TCPHeader) {
+	seq := h.Ack
+	flags := byte(TCPRst)
+	ack := uint32(0)
+	if h.Flags&TCPAck == 0 {
+		seq = 0
+		flags |= TCPAck
+		ack = h.Seq + 1
+	}
+	hdr := TCPHeader{
+		SrcPort: tuple.Local.Port, DstPort: tuple.Remote.Port,
+		Seq: seq, Ack: ack, Flags: flags, Window: 0,
+	}
+	s.stats.TCPSegsOut++
+	s.sendIPv4(tuple.Remote.Addr, ProtoTCP, TCPHeaderLen, func(b []byte) int {
+		return PutTCP(b, hdr, tuple.Local.Addr, tuple.Remote.Addr, 0)
+	})
+}
+
+// newConnection handles a SYN on a listening port.
+func (l *Listener) newConnection(tuple FourTuple, h TCPHeader) {
+	s := l.stack
+	if len(l.queue) >= l.backlog {
+		s.stats.RxDropped++
+		return
+	}
+	c := &TCPConn{
+		stack:  s,
+		tuple:  tuple,
+		state:  stSynRcvd,
+		mss:    DefaultMSS,
+		rto:    initialRTO,
+		sndWnd: uint32(h.Window),
+		parent: l,
+	}
+	if h.MSS != 0 && int(h.MSS) < c.mss {
+		c.mss = int(h.MSS)
+	}
+	c.iss = uint32(s.machine.Rand.Uint64())
+	c.sndUna, c.sndNxt = c.iss, c.iss
+	c.irs = h.Seq
+	c.rcvNxt = h.Seq + 1
+	s.tcpConns[tuple] = c
+	c.sendSeg(TCPSyn|TCPAck, nil, true)
+}
+
+// segment is the per-connection input state machine.
+func (c *TCPConn) segment(h TCPHeader, payload []byte) {
+	s := c.stack
+	if h.Flags&TCPRst != 0 {
+		if c.state == stSynSent && h.Flags&TCPAck != 0 && h.Ack != c.sndNxt {
+			return // RST not for our SYN
+		}
+		c.abort(ErrConnReset, false)
+		return
+	}
+
+	switch c.state {
+	case stSynSent:
+		if h.Flags&TCPSyn == 0 || h.Flags&TCPAck == 0 || h.Ack != c.iss+1 {
+			return
+		}
+		c.irs = h.Seq
+		c.rcvNxt = h.Seq + 1
+		if h.MSS != 0 && int(h.MSS) < c.mss {
+			c.mss = int(h.MSS)
+		}
+		c.ackAdvance(h.Ack)
+		c.sndWnd = uint32(h.Window)
+		c.state = stEstablished
+		c.sendAck()
+		c.cwq.WakeAll()
+		c.trySend()
+		return
+	case stSynRcvd:
+		if h.Flags&TCPAck != 0 && h.Ack == c.iss+1 {
+			c.ackAdvance(h.Ack)
+			c.sndWnd = uint32(h.Window)
+			c.state = stEstablished
+			if c.parent != nil && !c.parent.closed {
+				c.parent.queue = append(c.parent.queue, c)
+				c.parent.wq.WakeAll()
+			}
+			// Fall through to process any data on the ACK.
+		} else if h.Flags&TCPSyn != 0 {
+			// Retransmitted SYN: re-send SYN-ACK.
+			c.retransmitHead()
+			return
+		} else {
+			return
+		}
+	}
+
+	// ESTABLISHED and later: ACK processing.
+	if h.Flags&TCPAck != 0 {
+		c.processAck(h)
+	}
+
+	// Data processing (in-order only).
+	if len(payload) > 0 {
+		switch c.state {
+		case stEstablished, stFinWait1, stFinWait2:
+			if h.Seq == c.rcvNxt {
+				room := rcvBufCap - len(c.rcvBuf)
+				take := len(payload)
+				if take > room {
+					take = room
+				}
+				c.rcvBuf = append(c.rcvBuf, payload[:take]...)
+				s.machine.Charge(costSockQueue + uint64(take)/costPerByte16)
+				c.rcvNxt += uint32(take)
+				c.sendAck()
+				c.rwq.WakeAll()
+			} else {
+				// Out of order or duplicate: dup-ACK what we expect.
+				c.sendAck()
+			}
+		}
+	}
+
+	// FIN processing (only when all prior data was consumed in-order).
+	if h.Flags&TCPFin != 0 && !c.peerFin {
+		if finSeq := h.Seq + uint32(len(payload)); finSeq == c.rcvNxt {
+			c.peerFin = true
+			c.rcvNxt++
+			c.sendAck()
+			c.rwq.WakeAll()
+			switch c.state {
+			case stEstablished:
+				c.state = stCloseWait
+			case stFinWait1:
+				// Simultaneous close; our FIN not yet acked.
+				c.state = stClosing
+			case stFinWait2:
+				c.enterTimeWait()
+			}
+		}
+	}
+}
+
+// processAck handles acknowledgement and window updates.
+func (c *TCPConn) processAck(h TCPHeader) {
+	ack := h.Ack
+	if seqGT(ack, c.sndNxt) {
+		c.sendAck() // acking the future: resync
+		return
+	}
+	if seqGT(ack, c.sndUna) {
+		c.ackAdvance(ack)
+		c.sndWnd = uint32(h.Window)
+		c.dupAcks = 0
+		c.rto = initialRTO
+		c.wwq.WakeAll()
+		// State transitions driven by our FIN being acknowledged.
+		if c.finSent && c.sndUna == c.sndNxt {
+			switch c.state {
+			case stFinWait1:
+				c.state = stFinWait2
+			case stClosing:
+				c.enterTimeWait()
+			case stLastAck:
+				c.teardown(nil)
+				return
+			}
+		}
+	} else if ack == c.sndUna && len(c.retransQ) > 0 {
+		c.dupAcks++
+		if c.dupAcks == 3 {
+			// Fast retransmit.
+			c.stack.stats.TCPRetransmits++
+			c.retransmitHead()
+		}
+	} else {
+		c.sndWnd = uint32(h.Window)
+	}
+	// A window update (including a pure ACK reopening a closed window)
+	// must restart transmission of queued data.
+	c.trySend()
+	if len(c.sndBuf) < sndBufCap {
+		c.wwq.WakeAll()
+	}
+}
+
+// ackAdvance drops fully acknowledged segments.
+func (c *TCPConn) ackAdvance(ack uint32) {
+	c.sndUna = ack
+	for len(c.retransQ) > 0 {
+		sg := &c.retransQ[0]
+		if seqLEQ(sg.seq+sg.seqLen(), ack) {
+			c.retransQ = c.retransQ[1:]
+		} else {
+			break
+		}
+	}
+}
+
+// --- output --------------------------------------------------------------
+
+// sendSeg emits a segment with the given flags and payload, tracking it
+// for retransmission when track is set.
+func (c *TCPConn) sendSeg(flags byte, payload []byte, track bool) {
+	s := c.stack
+	s.machine.Charge(costTCPTx)
+	h := TCPHeader{
+		SrcPort: c.tuple.Local.Port, DstPort: c.tuple.Remote.Port,
+		Seq: c.sndNxt, Ack: c.rcvNxt,
+		Flags:  flags,
+		Window: clampWnd(rcvBufCap - len(c.rcvBuf)),
+	}
+	if flags&TCPSyn != 0 {
+		h.MSS = DefaultMSS
+	}
+	if flags != TCPSyn { // everything after the first SYN carries ACK
+		h.Flags |= TCPAck
+	}
+	c.lastWnd = h.Window
+	s.stats.TCPSegsOut++
+	s.sendIPv4(c.tuple.Remote.Addr, ProtoTCP, TCPHeaderLen+4+len(payload), func(b []byte) int {
+		hl := PutTCP(b, h, c.tuple.Local.Addr, c.tuple.Remote.Addr, len(payload))
+		copy(b[hl:], payload)
+		// Recompute checksum with payload in place.
+		return PutTCP(b, h, c.tuple.Local.Addr, c.tuple.Remote.Addr, len(payload)) + len(payload)
+	})
+	if track {
+		sg := tcpSeg{seq: c.sndNxt, flags: flags & (TCPSyn | TCPFin), sentAt: s.machine.CPU.Cycles()}
+		if len(payload) > 0 {
+			sg.data = append([]byte(nil), payload...)
+		}
+		c.retransQ = append(c.retransQ, sg)
+		c.sndNxt += sg.seqLen()
+	}
+}
+
+// sendAck emits a bare ACK.
+func (c *TCPConn) sendAck() {
+	c.sendSeg(TCPAck, nil, false)
+}
+
+// trySend pushes queued data (and a pending FIN) within the peer window.
+func (c *TCPConn) trySend() {
+	if c.state != stEstablished && c.state != stCloseWait && c.state != stFinWait1 && c.state != stClosing && c.state != stLastAck {
+		return
+	}
+	for len(c.sndBuf) > 0 {
+		inflight := c.sndNxt - c.sndUna
+		avail := int(c.sndWnd) - int(inflight)
+		if avail <= 0 {
+			return
+		}
+		n := len(c.sndBuf)
+		if n > c.mss {
+			n = c.mss
+		}
+		if n > avail {
+			n = avail
+		}
+		chunk := c.sndBuf[:n]
+		c.sndBuf = c.sndBuf[n:]
+		flags := byte(TCPAck)
+		if len(c.sndBuf) == 0 {
+			flags |= TCPPsh
+		}
+		c.sendSeg(flags, chunk, true)
+	}
+	if c.finPending && !c.finSent && len(c.sndBuf) == 0 {
+		c.finSent = true
+		c.sendSeg(TCPFin|TCPAck, nil, true)
+	}
+}
+
+// retransmitHead re-sends the oldest unacknowledged segment.
+func (c *TCPConn) retransmitHead() {
+	if len(c.retransQ) == 0 {
+		return
+	}
+	sg := &c.retransQ[0]
+	s := c.stack
+	s.machine.Charge(costTCPTx)
+	h := TCPHeader{
+		SrcPort: c.tuple.Local.Port, DstPort: c.tuple.Remote.Port,
+		Seq: sg.seq, Ack: c.rcvNxt,
+		Flags:  sg.flags | TCPAck,
+		Window: clampWnd(rcvBufCap - len(c.rcvBuf)),
+	}
+	if sg.flags&TCPSyn != 0 {
+		h.MSS = DefaultMSS
+		if c.state == stSynSent {
+			h.Flags &^= TCPAck // initial SYN carries no ACK
+		}
+	}
+	s.stats.TCPSegsOut++
+	s.sendIPv4(c.tuple.Remote.Addr, ProtoTCP, TCPHeaderLen+4+len(sg.data), func(b []byte) int {
+		hl := PutTCP(b, h, c.tuple.Local.Addr, c.tuple.Remote.Addr, len(sg.data))
+		copy(b[hl:], sg.data)
+		return PutTCP(b, h, c.tuple.Local.Addr, c.tuple.Remote.Addr, len(sg.data)) + len(sg.data)
+	})
+	sg.sentAt = s.machine.CPU.Cycles()
+	sg.retries++
+}
+
+// tcpTimers runs retransmission and TIME_WAIT timers; called from Poll.
+func (s *Stack) tcpTimers() {
+	now := s.machine.CPU.Cycles()
+	for _, c := range snapshotConns(s.tcpConns) {
+		if c.state == stTimeWait {
+			if now >= c.timeWaitAt {
+				c.teardown(nil)
+			}
+			continue
+		}
+		if len(c.retransQ) == 0 {
+			continue
+		}
+		sg := &c.retransQ[0]
+		if now-sg.sentAt < c.rto {
+			continue
+		}
+		if sg.retries >= maxRetries {
+			c.abort(ErrTimeout, true)
+			continue
+		}
+		s.stats.TCPRetransmits++
+		c.rto *= 2
+		c.retransmitHead()
+	}
+}
+
+// clampWnd bounds the advertised window to the 16-bit field (no window
+// scaling option; tcpWindow is the effective cap).
+func clampWnd(avail int) uint16 {
+	if avail > tcpWindow {
+		return tcpWindow
+	}
+	if avail < 0 {
+		return 0
+	}
+	return uint16(avail)
+}
+
+// snapshotConns returns connections in a deterministic order so timer
+// processing (and therefore virtual-time event order) is reproducible.
+func snapshotConns(m map[FourTuple]*TCPConn) []*TCPConn {
+	out := make([]*TCPConn, 0, len(m))
+	for _, c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].tuple, out[j].tuple
+		if a.Local.Port != b.Local.Port {
+			return a.Local.Port < b.Local.Port
+		}
+		if a.Remote.Port != b.Remote.Port {
+			return a.Remote.Port < b.Remote.Port
+		}
+		return a.Remote.Addr.String() < b.Remote.Addr.String()
+	})
+	return out
+}
+
+// --- connection API --------------------------------------------------------
+
+// State returns a printable state name (for tests/diagnostics).
+func (c *TCPConn) State() string { return c.state.String() }
+
+// Established reports whether the handshake completed.
+func (c *TCPConn) Established() bool { return c.state == stEstablished }
+
+// Err returns the terminal error, if any.
+func (c *TCPConn) Err() error { return c.err }
+
+// Tuple returns the connection's 4-tuple.
+func (c *TCPConn) Tuple() FourTuple { return c.tuple }
+
+// Write queues data for transmission, returning the bytes accepted
+// (short writes happen at send-buffer capacity).
+func (c *TCPConn) Write(data []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	switch c.state {
+	case stEstablished, stCloseWait:
+	default:
+		return 0, ErrConnClosed
+	}
+	room := sndBufCap - len(c.sndBuf)
+	n := len(data)
+	if n > room {
+		n = room
+	}
+	if n == 0 {
+		return 0, ErrBufferFull
+	}
+	c.stack.machine.Charge(costSockQueue + uint64(n)/costPerByte16)
+	c.sndBuf = append(c.sndBuf, data[:n]...)
+	c.trySend()
+	return n, nil
+}
+
+// WriteBlocking writes all of data, parking t when the buffer is full.
+func (c *TCPConn) WriteBlocking(t *uksched.Thread, data []byte) (int, error) {
+	if err := c.stack.blockingSupported(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for len(data) > 0 {
+		n, err := c.Write(data)
+		if err == ErrBufferFull {
+			c.wwq.Wait(t)
+			continue
+		}
+		if err != nil {
+			return total, err
+		}
+		total += n
+		data = data[n:]
+	}
+	return total, nil
+}
+
+// Read copies received data into buf without blocking. At EOF (peer FIN
+// consumed) it returns 0, ErrConnClosed; with no data it returns
+// 0, ErrWouldBlock.
+func (c *TCPConn) Read(buf []byte) (int, error) {
+	if len(c.rcvBuf) == 0 {
+		if c.err != nil {
+			return 0, c.err
+		}
+		if c.peerFin {
+			return 0, ErrConnClosed
+		}
+		return 0, ErrWouldBlock
+	}
+	n := copy(buf, c.rcvBuf)
+	c.rcvBuf = c.rcvBuf[n:]
+	c.stack.machine.Charge(costSockQueue + uint64(n)/costPerByte16)
+	// If we previously advertised a nearly-closed window and draining
+	// reopened it, tell the peer so it can resume (window update).
+	if c.state == stEstablished && c.lastWnd < tcpWindow/4 && rcvBufCap-len(c.rcvBuf) > rcvBufCap/2 {
+		c.sendAck()
+	}
+	return n, nil
+}
+
+// ReadBlocking parks t until data (or EOF/error) is available.
+func (c *TCPConn) ReadBlocking(t *uksched.Thread, buf []byte) (int, error) {
+	if err := c.stack.blockingSupported(); err != nil {
+		return 0, err
+	}
+	for {
+		n, err := c.Read(buf)
+		if err != ErrWouldBlock {
+			return n, err
+		}
+		c.rwq.Wait(t)
+	}
+}
+
+// Readable reports buffered bytes available to Read.
+func (c *TCPConn) Readable() int { return len(c.rcvBuf) }
+
+// Close starts an orderly shutdown (FIN after queued data drains).
+func (c *TCPConn) Close() error {
+	switch c.state {
+	case stClosed, stTimeWait, stLastAck, stClosing, stFinWait1, stFinWait2:
+		return nil
+	case stSynSent:
+		c.teardown(ErrConnClosed)
+		return nil
+	case stCloseWait:
+		c.state = stLastAck
+	case stEstablished, stSynRcvd:
+		c.state = stFinWait1
+	}
+	c.finPending = true
+	c.trySend()
+	return nil
+}
+
+// abort resets the connection; sendRst emits an RST to the peer.
+func (c *TCPConn) abort(err error, sendRst bool) {
+	if sendRst && c.state != stClosed {
+		h := TCPHeader{
+			SrcPort: c.tuple.Local.Port, DstPort: c.tuple.Remote.Port,
+			Seq: c.sndNxt, Ack: c.rcvNxt, Flags: TCPRst | TCPAck,
+		}
+		c.stack.stats.TCPSegsOut++
+		c.stack.sendIPv4(c.tuple.Remote.Addr, ProtoTCP, TCPHeaderLen, func(b []byte) int {
+			return PutTCP(b, h, c.tuple.Local.Addr, c.tuple.Remote.Addr, 0)
+		})
+	}
+	c.teardown(err)
+}
+
+func (c *TCPConn) enterTimeWait() {
+	c.state = stTimeWait
+	c.timeWaitAt = c.stack.machine.CPU.Cycles() + timeWaitCycle
+}
+
+// teardown finalizes the connection and wakes all waiters.
+func (c *TCPConn) teardown(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+	c.state = stClosed
+	delete(c.stack.tcpConns, c.tuple)
+	c.retransQ = nil
+	c.sndBuf = nil
+	c.rwq.WakeAll()
+	c.wwq.WakeAll()
+	c.cwq.WakeAll()
+}

@@ -1,0 +1,129 @@
+package netstack
+
+import (
+	"unikraft/internal/uksched"
+)
+
+// UDPDatagram is one received datagram with its source.
+type UDPDatagram struct {
+	From AddrPort
+	Data []byte
+}
+
+// UDPConn is a bound UDP endpoint.
+type UDPConn struct {
+	stack  *Stack
+	local  AddrPort
+	queue  []UDPDatagram
+	qCap   int
+	wq     uksched.WaitQueue
+	closed bool
+	drops  uint64
+}
+
+// BindUDP binds a UDP socket to port (0 = ephemeral).
+func (s *Stack) BindUDP(port uint16) (*UDPConn, error) {
+	if port == 0 {
+		port = s.allocEphemeral(false)
+	} else if _, used := s.udpPorts[port]; used {
+		return nil, ErrPortInUse
+	}
+	c := &UDPConn{
+		stack: s,
+		local: AddrPort{Addr: s.cfg.Addr, Port: port},
+		qCap:  512,
+	}
+	s.udpPorts[port] = c
+	return c, nil
+}
+
+func (s *Stack) inputUDP(ip IPv4Header, b []byte) {
+	s.machine.Charge(costUDPRx)
+	h, payload, err := ParseUDP(b, ip.Src, ip.Dst)
+	if err != nil {
+		s.stats.ChecksumErrors++
+		s.stats.RxDropped++
+		return
+	}
+	c, ok := s.udpPorts[h.DstPort]
+	if !ok || c.closed {
+		s.stats.RxDropped++
+		return
+	}
+	s.stats.UDPIn++
+	if len(c.queue) >= c.qCap {
+		c.drops++
+		return
+	}
+	data := make([]byte, len(payload))
+	copy(data, payload)
+	s.machine.Charge(costSockQueue + s.cfg.PerDatagramSocketExtra + uint64(len(payload))/costPerByte16)
+	c.queue = append(c.queue, UDPDatagram{
+		From: AddrPort{Addr: ip.Src, Port: h.SrcPort},
+		Data: data,
+	})
+	c.wq.WakeAll()
+}
+
+// LocalAddr returns the bound endpoint.
+func (c *UDPConn) LocalAddr() AddrPort { return c.local }
+
+// SendTo transmits one datagram (the sendmsg path: socket layer + UDP +
+// IP + Ethernet + driver).
+func (c *UDPConn) SendTo(dst AddrPort, data []byte) error {
+	if c.closed {
+		return ErrConnClosed
+	}
+	s := c.stack
+	s.machine.Charge(costSockQueue + costUDPTx + s.cfg.PerDatagramSocketExtra + uint64(len(data))/costPerByte16)
+	s.stats.UDPOut++
+	return s.sendIPv4(dst.Addr, ProtoUDP, UDPHeaderLen+len(data), func(b []byte) int {
+		copy(b[UDPHeaderLen:], data)
+		PutUDP(b, c.local, dst, len(data))
+		return UDPHeaderLen + len(data)
+	})
+}
+
+// RecvFrom returns the next datagram without blocking; ok reports
+// whether one was available (the event-loop API).
+func (c *UDPConn) RecvFrom() (UDPDatagram, bool) {
+	if len(c.queue) == 0 {
+		return UDPDatagram{}, false
+	}
+	d := c.queue[0]
+	c.queue = c.queue[1:]
+	c.stack.machine.Charge(costSockQueue + uint64(len(d.Data))/costPerByte16)
+	return d, true
+}
+
+// RecvFromBlocking parks the calling thread until a datagram arrives.
+func (c *UDPConn) RecvFromBlocking(t *uksched.Thread) (UDPDatagram, error) {
+	if err := c.stack.blockingSupported(); err != nil {
+		return UDPDatagram{}, err
+	}
+	for {
+		if d, ok := c.RecvFrom(); ok {
+			return d, nil
+		}
+		if c.closed {
+			return UDPDatagram{}, ErrConnClosed
+		}
+		c.wq.Wait(t)
+	}
+}
+
+// Pending reports queued datagrams.
+func (c *UDPConn) Pending() int { return len(c.queue) }
+
+// Drops reports datagrams dropped due to a full socket queue.
+func (c *UDPConn) Drops() uint64 { return c.drops }
+
+// Close unbinds the socket.
+func (c *UDPConn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	delete(c.stack.udpPorts, c.local.Port)
+	c.wq.WakeAll()
+}

@@ -1,0 +1,291 @@
+// Package ukboot implements the boot micro-library: the ordered
+// initialization pipeline that takes a Unikraft image from first guest
+// instruction to the application's main(), plus the guest page-table
+// strategies of §6.1. Timing is charged to the simulated machine, split
+// into VMM time and guest time exactly as the paper measures them
+// (Fig 10, Fig 14, Fig 21).
+package ukboot
+
+import (
+	"fmt"
+	"time"
+
+	"unikraft/internal/sim"
+	"unikraft/internal/ukalloc"
+	"unikraft/internal/ukplat"
+	"unikraft/internal/uksched"
+)
+
+// libInitCycles is the guest-side constructor cost of each micro-library
+// that registers boot work, calibrated so that the Fig 14 nginx boot
+// breakdown (virtio/vfscore/ukbus/rootfs/pthreads/plat/misc/lwip/alloc)
+// sums to the paper's per-allocator totals.
+var libInitCycles = map[string]uint64{
+	"plat":         36_000,    // memregion + console + traps + clock (10us)
+	"ukbus":        61_200,    // virtio bus scan (17us)
+	"virtio-net":   1_080_000, // per-NIC driver+queue init (300us)
+	"virtio-blk":   360_000,   // block device init (100us)
+	"lwip":         1_100_000, // network stack init incl. memory pools (306us)
+	"uknetdev":     43_200,    // netdev registry (12us)
+	"vfscore":      90_000,    // VFS + fd table (25us)
+	"ramfs":        54_000,    // rootfs populate (15us)
+	"posix":        36_000,    // posix-fdtab/process glue (10us)
+	"pthreads":     54_000,    // pthread_embedded init (15us)
+	"uksched":      36_000,    // scheduler + idle thread (10us)
+	"syscall-shim": 18_000,    // syscall table registration (5us)
+	"ukdebug":      7_200,
+	"misc":         36_000, // remaining constructors (10us)
+}
+
+// LibInitCost exposes the constructor-cost table (read-only use).
+func LibInitCost(lib string) (uint64, bool) {
+	c, ok := libInitCycles[lib]
+	return c, ok
+}
+
+// Config describes one unikernel instance to boot.
+type Config struct {
+	// Platform selects the hypervisor/VMM model.
+	Platform ukplat.Platform
+	// MemBytes is total guest memory.
+	MemBytes int
+	// ImageBytes is the kernel image size (affects layout & min-memory).
+	ImageBytes int
+	// StackBytes defaults to 64 KiB.
+	StackBytes int
+	// PTMode selects the §6.1 paging strategy.
+	PTMode PTMode
+	// Allocator names the ukalloc backend to initialize as the default
+	// heap allocator ("bootalloc", "buddy", "tlsf", "tinyalloc",
+	// "mimalloc").
+	Allocator string
+	// NICs counts attached network devices.
+	NICs int
+	// Mount9pfs adds the virtio-9p mount step (§5.2 boot cost).
+	Mount9pfs bool
+	// Libs lists additional micro-libraries whose constructors run at
+	// boot, in order (e.g. "lwip", "vfscore", "ramfs").
+	Libs []string
+	// Scheduler, if non-nil creation is requested, selects the policy;
+	// include "uksched" in Libs to create one.
+	Scheduler uksched.Policy
+}
+
+// Step records one timed boot phase.
+type Step struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Report is the timing outcome of a boot.
+type Report struct {
+	VMM   time.Duration
+	Guest time.Duration
+	Steps []Step
+}
+
+// Total is VMM + guest time: the paper's "total boot time".
+func (r Report) Total() time.Duration { return r.VMM + r.Guest }
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("boot: vmm=%v guest=%v total=%v", r.VMM, r.Guest, r.Total())
+}
+
+// VM is a booted unikernel instance.
+type VM struct {
+	Machine   *sim.Machine
+	Platform  ukplat.Platform
+	Config    Config
+	Allocs    ukalloc.Registry
+	Heap      ukalloc.Allocator
+	PageTable *PageTable
+	Sched     *uksched.Scheduler
+	Regions   []ukplat.MemRegion
+	Report    Report
+}
+
+// Boot runs the full pipeline on machine m and returns the booted VM.
+// All time costs are charged to m's clock; the Report additionally
+// itemizes them.
+func Boot(m *sim.Machine, cfg Config) (*VM, error) {
+	if cfg.MemBytes <= 0 {
+		return nil, fmt.Errorf("ukboot: MemBytes must be positive")
+	}
+	if cfg.StackBytes == 0 {
+		cfg.StackBytes = 64 << 10
+	}
+	if cfg.Allocator == "" {
+		cfg.Allocator = "tlsf"
+	}
+	vm := &VM{Machine: m, Platform: cfg.Platform, Config: cfg}
+
+	// --- VMM phase -----------------------------------------------------
+	vmmStart := m.CPU.Cycles()
+	m.ChargeDuration(cfg.Platform.VMMSetup)
+	for i := 0; i < cfg.NICs; i++ {
+		m.ChargeDuration(cfg.Platform.NICSetup)
+	}
+	vm.Report.VMM = m.CPU.Duration(m.CPU.Cycles() - vmmStart)
+
+	// --- Guest phase ---------------------------------------------------
+	guestStart := m.CPU.Cycles()
+	step := func(name string, fn func() error) error {
+		s := m.CPU.Cycles()
+		if fn != nil {
+			if err := fn(); err != nil {
+				return fmt.Errorf("ukboot: step %s: %w", name, err)
+			}
+		}
+		vm.Report.Steps = append(vm.Report.Steps, Step{
+			Name:     name,
+			Duration: m.CPU.Duration(m.CPU.Cycles() - s),
+		})
+		return nil
+	}
+	chargeLib := func(name string) func() error {
+		return func() error {
+			c, ok := libInitCycles[name]
+			if !ok {
+				c = libInitCycles["misc"]
+			}
+			m.Charge(c)
+			return nil
+		}
+	}
+
+	if err := step("plat", chargeLib("plat")); err != nil {
+		return nil, err
+	}
+	if cfg.Platform.GuestExtra > 0 {
+		if err := step("plat-extra", func() error {
+			m.ChargeDuration(cfg.Platform.GuestExtra)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := step("pagetable", func() error {
+		pt, err := buildPageTable(m.Charge, cfg.PTMode, cfg.MemBytes)
+		vm.PageTable = pt
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Memory layout and heap allocator initialization over the real
+	// heap region.
+	vm.Regions = ukplat.Layout(cfg.ImageBytes, cfg.MemBytes, cfg.StackBytes)
+	var heapBytes int
+	for _, r := range vm.Regions {
+		if r.Kind == ukplat.RegionHeap {
+			heapBytes = r.Bytes
+		}
+	}
+	if err := step("alloc:"+cfg.Allocator, func() error {
+		a, err := ukalloc.NewBackend(cfg.Allocator, m)
+		if err != nil {
+			return err
+		}
+		if err := a.Init(make([]byte, heapBytes)); err != nil {
+			return fmt.Errorf("heap %d bytes: %w", heapBytes, err)
+		}
+		vm.Allocs.Register(a)
+		vm.Heap = a
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if cfg.NICs > 0 || cfg.Mount9pfs {
+		if err := step("ukbus", chargeLib("ukbus")); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.NICs; i++ {
+		if err := step("virtio-net", chargeLib("virtio-net")); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Mount9pfs {
+		if err := step("9pfs", func() error {
+			m.ChargeDuration(cfg.Platform.Mount9pfs)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, lib := range cfg.Libs {
+		lib := lib
+		if lib == "uksched" {
+			if err := step("uksched", func() error {
+				m.Charge(libInitCycles["uksched"])
+				vm.Sched = uksched.New(cfg.Scheduler, m)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := step(lib, chargeLib(lib)); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := step("misc", chargeLib("misc")); err != nil {
+		return nil, err
+	}
+
+	vm.Report.Guest = m.CPU.Duration(m.CPU.Cycles() - guestStart)
+	return vm, nil
+}
+
+// Close releases VM resources (scheduler goroutines).
+func (vm *VM) Close() {
+	if vm.Sched != nil {
+		vm.Sched.Shutdown()
+	}
+}
+
+// MinMemory probes the smallest total guest memory (in the platform's
+// granularity) at which cfg boots and the application can allocate
+// appFloor bytes of startup heap — the Fig 11 measurement ("minimum
+// amount of memory required to boot various applications").
+func MinMemory(cfg Config, appFloor int) (int, error) {
+	gran := cfg.Platform.MemGranularity
+	if gran <= 0 {
+		gran = 1 << 20
+	}
+	for mem := gran; mem <= 1<<30; mem += gran {
+		c := cfg
+		c.MemBytes = mem
+		if ok := bootsWithFloor(c, appFloor); ok {
+			return mem, nil
+		}
+	}
+	return 0, fmt.Errorf("ukboot: no memory size up to 1GiB boots %+v", cfg)
+}
+
+func bootsWithFloor(cfg Config, appFloor int) bool {
+	m := sim.NewMachine()
+	vm, err := Boot(m, cfg)
+	if err != nil {
+		return false
+	}
+	defer vm.Close()
+	// Simulate app startup allocations in 64KiB chunks (buffers, pools,
+	// arenas) — all must succeed for the app to come up.
+	const chunk = 64 << 10
+	for got := 0; got < appFloor; got += chunk {
+		n := chunk
+		if appFloor-got < n {
+			n = appFloor - got
+		}
+		if _, err := vm.Heap.Malloc(n); err != nil {
+			return false
+		}
+	}
+	return true
+}

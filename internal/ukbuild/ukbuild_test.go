@@ -1,0 +1,199 @@
+package ukbuild
+
+import (
+	"math"
+	"testing"
+
+	"unikraft/internal/core"
+)
+
+func buildApp(t *testing.T, name string, opts Options) *Image {
+	t.Helper()
+	cat := core.DefaultCatalog()
+	app, ok := core.AppByName(name)
+	if !ok {
+		t.Fatalf("unknown app %s", name)
+	}
+	img, err := Build(cat, app, "kvm", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// withinPct asserts |got-want|/want <= pct/100.
+func withinPct(t *testing.T, label string, got, want, pct float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero target", label)
+	}
+	if math.Abs(got-want)/want > pct/100 {
+		t.Errorf("%s = %.1f, want %.1f (±%.0f%%)", label, got, want, pct)
+	}
+}
+
+// TestFig8ImageSizes checks the four Fig 8 columns for all four apps.
+func TestFig8ImageSizes(t *testing.T) {
+	want := map[string][4]float64{ // KB: default, +LTO, +DCE, +DCE+LTO
+		"helloworld": {256.7, 256.7, 192.7, 192.7},
+		"nginx":      {1600, 1200, 832.8, 832.8},
+		"redis":      {1800, 1400, 1100, 1100},
+		"sqlite":     {1600, 1300, 832.8, 832.8},
+	}
+	cols := []Options{{}, {LTO: true}, {DCE: true}, {DCE: true, LTO: true}}
+	for app, targets := range want {
+		for i, opts := range cols {
+			img := buildApp(t, app, opts)
+			withinPct(t, app+optsLabel(opts), float64(img.Bytes)/1024, targets[i], 5)
+		}
+	}
+}
+
+func optsLabel(o Options) string {
+	switch {
+	case o.DCE && o.LTO:
+		return "+dce+lto"
+	case o.DCE:
+		return "+dce"
+	case o.LTO:
+		return "+lto"
+	}
+	return "+default"
+}
+
+// TestDCESupersedesLTO: the paper's identity DCE+LTO == DCE.
+func TestDCESupersedesLTO(t *testing.T) {
+	for _, app := range []string{"helloworld", "nginx", "redis", "sqlite"} {
+		dce := buildApp(t, app, Options{DCE: true})
+		both := buildApp(t, app, Options{DCE: true, LTO: true})
+		if dce.Bytes != both.Bytes {
+			t.Errorf("%s: DCE %d != DCE+LTO %d", app, dce.Bytes, both.Bytes)
+		}
+	}
+}
+
+// TestOptionsMonotone: enabling an optimization never grows the image.
+func TestOptionsMonotone(t *testing.T) {
+	for _, app := range []string{"helloworld", "nginx", "redis", "sqlite", "webcache", "udpkv"} {
+		def := buildApp(t, app, Options{})
+		lto := buildApp(t, app, Options{LTO: true})
+		dce := buildApp(t, app, Options{DCE: true})
+		if lto.Bytes > def.Bytes || dce.Bytes > def.Bytes {
+			t.Errorf("%s: lto=%d dce=%d default=%d", app, lto.Bytes, dce.Bytes, def.Bytes)
+		}
+		if def.RemovedBytes != 0 {
+			t.Errorf("%s: default link removed %d bytes", app, def.RemovedBytes)
+		}
+		if dce.RemovedBytes+dce.Bytes != def.Bytes {
+			t.Errorf("%s: removed+kept != total", app)
+		}
+	}
+}
+
+// TestHelloXenSmaller: the Xen platform library is far smaller (§3:
+// 200KB on KVM vs 40KB on Xen for helloworld).
+func TestHelloXenSmaller(t *testing.T) {
+	cat := core.DefaultCatalog()
+	app, _ := core.AppByName("helloworld")
+	kvm, err := Build(cat, app, "kvm", Options{DCE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xen, err := Build(cat, app, "xen", Options{DCE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xen.Bytes >= kvm.Bytes/2 {
+		t.Errorf("xen hello = %d, kvm = %d; want xen much smaller", xen.Bytes, kvm.Bytes)
+	}
+}
+
+// TestClosureContents: nginx pulls the network stack; sqlite does not
+// (the paper's §3 point about the nginx image lacking a block subsystem
+// and hello lacking everything).
+func TestClosureContents(t *testing.T) {
+	nginx := buildApp(t, "nginx", Options{})
+	sqlite := buildApp(t, "sqlite", Options{})
+	hello := buildApp(t, "helloworld", Options{})
+	has := func(img *Image, lib string) bool {
+		for _, l := range img.Libs {
+			if l == lib {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(nginx, "lwip") || !has(nginx, "uknetdev") {
+		t.Error("nginx image lacks the network stack")
+	}
+	if has(sqlite, "lwip") || has(sqlite, "uknetdev") {
+		t.Error("sqlite image includes the network stack it does not need")
+	}
+	if has(hello, "vfscore") || has(hello, "lwip") || has(hello, "uksched") {
+		t.Errorf("hello image over-linked: %v", hello.Libs)
+	}
+	if len(hello.Libs) >= len(sqlite.Libs) {
+		t.Errorf("hello closure (%d libs) not smaller than sqlite (%d)", len(hello.Libs), len(sqlite.Libs))
+	}
+}
+
+// TestAllocatorSwap: switching the ukalloc provider swaps exactly the
+// backend library (the paper's interchangeability claim).
+func TestAllocatorSwap(t *testing.T) {
+	cat := core.DefaultCatalog()
+	app, _ := core.AppByName("nginx")
+	app.Allocator = "ukallocbuddy"
+	withBuddy, err := Build(cat, app, "kvm", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Allocator = "ukallocmim"
+	withMim, err := Build(cat, app, "kvm", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(img *Image, lib string) bool {
+		for _, l := range img.Libs {
+			if l == lib {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(withBuddy, "ukallocbuddy") || has(withBuddy, "ukallocmim") {
+		t.Errorf("buddy build libs: %v", withBuddy.Libs)
+	}
+	if !has(withMim, "ukallocmim") || has(withMim, "ukallocbuddy") {
+		t.Errorf("mimalloc build libs: %v", withMim.Libs)
+	}
+}
+
+// TestMissingProviderError: an unsatisfiable API is a build error, not a
+// silent link.
+func TestMissingProviderError(t *testing.T) {
+	cat := core.NewCatalog()
+	cat.Add(&core.Library{Name: "app-x", Needs: []string{"nothing-provides-this"}})
+	_, err := cat.Closure([]string{"app-x"}, nil)
+	if err == nil {
+		t.Fatal("closure with unsatisfiable API succeeded")
+	}
+}
+
+// TestPlatformMismatch: linking a xen-only library into a kvm image
+// fails loudly.
+func TestPlatformMismatch(t *testing.T) {
+	cat := core.DefaultCatalog()
+	app := core.AppProfile{Name: "bad", Lib: "netfront", Libc: "nolibc", Allocator: "ukallocboot"}
+	if _, err := Build(cat, app, "kvm", Options{}); err == nil {
+		t.Fatal("xen-only lib linked into kvm image")
+	}
+}
+
+func TestKBFormatting(t *testing.T) {
+	if got := KB(256 * 1024); got != "256.0KB" {
+		t.Errorf("KB = %q", got)
+	}
+	if got := KB(1600 * 1024); got != "1.6MB" {
+		t.Errorf("MB = %q", got)
+	}
+}

@@ -1,0 +1,151 @@
+// Package uklock provides the synchronization micro-library from the
+// paper's §3.3: mutexes and semaphores whose implementation is selected
+// by how the unikernel is configured. In the simplest configuration (no
+// threading, single core) the primitives compile out entirely — here,
+// the zero-cost NullLock — while threaded configurations get real
+// primitives built on uksched wait queues.
+//
+// Because the simulated machine is single-core (as in the paper's
+// evaluation), there are no spinlock/RCU variants; the paper notes
+// multi-core support is work in progress.
+package uklock
+
+import (
+	"unikraft/internal/uksched"
+)
+
+// Locker is the uklock facade: configurations choose NullLock (no
+// threading) or Mutex (threading on).
+type Locker interface {
+	Lock(t *uksched.Thread)
+	Unlock(t *uksched.Thread)
+}
+
+// NullLock is the compiled-out variant used by single-threaded,
+// run-to-completion images: mutual exclusion is structural, so locking
+// is free.
+type NullLock struct{}
+
+// Lock implements Locker as a no-op.
+func (NullLock) Lock(*uksched.Thread) {}
+
+// Unlock implements Locker as a no-op.
+func (NullLock) Unlock(*uksched.Thread) {}
+
+// Mutex is a sleeping mutual-exclusion lock for threaded images.
+type Mutex struct {
+	owner *uksched.Thread
+	depth int // recursion depth; Unikraft's uk_mutex is recursive
+	wq    uksched.WaitQueue
+}
+
+// Lock acquires m, parking t until it is available. The mutex is
+// recursive, matching uk_mutex semantics.
+func (m *Mutex) Lock(t *uksched.Thread) {
+	if m.owner == t {
+		m.depth++
+		return
+	}
+	for m.owner != nil {
+		m.wq.Wait(t)
+	}
+	m.owner = t
+	m.depth = 1
+	t.Charge(20) // uncontended acquire: one CAS-equivalent
+}
+
+// TryLock acquires m without blocking; reports success.
+func (m *Mutex) TryLock(t *uksched.Thread) bool {
+	if m.owner == t {
+		m.depth++
+		return true
+	}
+	if m.owner != nil {
+		return false
+	}
+	m.owner = t
+	m.depth = 1
+	t.Charge(20)
+	return true
+}
+
+// Unlock releases m. It panics if t is not the owner (a correctness bug
+// in the caller, as in Unikraft's UK_ASSERT).
+func (m *Mutex) Unlock(t *uksched.Thread) {
+	if m.owner != t {
+		panic("uklock: Unlock by non-owner")
+	}
+	m.depth--
+	if m.depth > 0 {
+		return
+	}
+	m.owner = nil
+	m.wq.WakeOne()
+	t.Charge(20)
+}
+
+// Owner reports the current owner (nil when unlocked); for tests.
+func (m *Mutex) Owner() *uksched.Thread { return m.owner }
+
+// Semaphore is a counting semaphore.
+type Semaphore struct {
+	count int
+	wq    uksched.WaitQueue
+}
+
+// NewSemaphore creates a semaphore with an initial count.
+func NewSemaphore(initial int) *Semaphore { return &Semaphore{count: initial} }
+
+// Down decrements the semaphore, parking t while the count is zero.
+func (s *Semaphore) Down(t *uksched.Thread) {
+	for s.count == 0 {
+		s.wq.Wait(t)
+	}
+	s.count--
+	t.Charge(20)
+}
+
+// TryDown decrements without blocking; reports success.
+func (s *Semaphore) TryDown(t *uksched.Thread) bool {
+	if s.count == 0 {
+		return false
+	}
+	s.count--
+	t.Charge(20)
+	return true
+}
+
+// Up increments the semaphore and wakes one waiter.
+func (s *Semaphore) Up(t *uksched.Thread) {
+	s.count++
+	s.wq.WakeOne()
+	if t != nil {
+		t.Charge(20)
+	}
+}
+
+// Count reports the current count; for tests.
+func (s *Semaphore) Count() int { return s.count }
+
+// CondVar is a condition variable bound to a Mutex, completing the
+// uklock primitive set. Wait atomically releases the mutex and parks the
+// thread; Signal/Broadcast wake waiters, which re-acquire the mutex
+// before returning.
+type CondVar struct {
+	wq uksched.WaitQueue
+}
+
+// Wait releases m, parks t until signalled, then re-acquires m. The
+// caller must hold m and must re-check its condition on return
+// (spurious-wakeup discipline).
+func (cv *CondVar) Wait(t *uksched.Thread, m *Mutex) {
+	m.Unlock(t)
+	cv.wq.Wait(t)
+	m.Lock(t)
+}
+
+// Signal wakes one waiter.
+func (cv *CondVar) Signal() { cv.wq.WakeOne() }
+
+// Broadcast wakes every waiter.
+func (cv *CondVar) Broadcast() { cv.wq.WakeAll() }

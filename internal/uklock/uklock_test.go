@@ -1,0 +1,241 @@
+package uklock
+
+import (
+	"testing"
+
+	"unikraft/internal/sim"
+	"unikraft/internal/uksched"
+)
+
+func TestMutexMutualExclusion(t *testing.T) {
+	s := uksched.New(uksched.Cooperative, sim.NewMachine())
+	defer s.Shutdown()
+	var mu Mutex
+	inCritical := 0
+	maxInCritical := 0
+	for i := 0; i < 4; i++ {
+		s.NewThread("worker", func(th *uksched.Thread) {
+			for j := 0; j < 10; j++ {
+				mu.Lock(th)
+				inCritical++
+				if inCritical > maxInCritical {
+					maxInCritical = inCritical
+				}
+				th.Yield() // try to interleave inside the critical section
+				inCritical--
+				mu.Unlock(th)
+			}
+		})
+	}
+	if blocked := s.Run(); blocked != 0 {
+		t.Fatalf("deadlock: %d blocked", blocked)
+	}
+	if maxInCritical != 1 {
+		t.Fatalf("max threads in critical section = %d, want 1", maxInCritical)
+	}
+}
+
+func TestMutexRecursive(t *testing.T) {
+	s := uksched.New(uksched.Cooperative, sim.NewMachine())
+	defer s.Shutdown()
+	var mu Mutex
+	ok := false
+	s.NewThread("rec", func(th *uksched.Thread) {
+		mu.Lock(th)
+		mu.Lock(th) // recursive acquire must not deadlock
+		mu.Unlock(th)
+		if mu.Owner() != th {
+			t.Error("mutex released after inner unlock")
+		}
+		mu.Unlock(th)
+		ok = true
+	})
+	s.Run()
+	if !ok {
+		t.Fatal("thread did not complete")
+	}
+	if mu.Owner() != nil {
+		t.Fatal("mutex still owned")
+	}
+}
+
+func TestMutexUnlockByNonOwnerPanics(t *testing.T) {
+	s := uksched.New(uksched.Cooperative, sim.NewMachine())
+	defer s.Shutdown()
+	var mu Mutex
+	var recovered any
+	s.NewThread("a", func(th *uksched.Thread) { mu.Lock(th) })
+	s.NewThread("b", func(th *uksched.Thread) {
+		defer func() { recovered = recover() }()
+		mu.Unlock(th)
+	})
+	s.Run()
+	if recovered == nil {
+		t.Fatal("Unlock by non-owner did not panic")
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	s := uksched.New(uksched.Cooperative, sim.NewMachine())
+	defer s.Shutdown()
+	var mu Mutex
+	results := map[string]bool{}
+	s.NewThread("holder", func(th *uksched.Thread) {
+		mu.Lock(th)
+		th.Yield()
+		mu.Unlock(th)
+	})
+	s.NewThread("trier", func(th *uksched.Thread) {
+		results["whileHeld"] = mu.TryLock(th)
+		th.Yield()
+		results["afterRelease"] = mu.TryLock(th)
+		if results["afterRelease"] {
+			mu.Unlock(th)
+		}
+	})
+	s.Run()
+	if results["whileHeld"] {
+		t.Error("TryLock succeeded while held by another thread")
+	}
+	if !results["afterRelease"] {
+		t.Error("TryLock failed after release")
+	}
+}
+
+func TestSemaphoreProducerConsumer(t *testing.T) {
+	s := uksched.New(uksched.Cooperative, sim.NewMachine())
+	defer s.Shutdown()
+	items := NewSemaphore(0)
+	var queue []int
+	var got []int
+	s.NewThread("consumer", func(th *uksched.Thread) {
+		for i := 0; i < 5; i++ {
+			items.Down(th)
+			got = append(got, queue[0])
+			queue = queue[1:]
+		}
+	})
+	s.NewThread("producer", func(th *uksched.Thread) {
+		for i := 1; i <= 5; i++ {
+			queue = append(queue, i)
+			items.Up(th)
+			th.Yield()
+		}
+	})
+	if blocked := s.Run(); blocked != 0 {
+		t.Fatalf("blocked = %d", blocked)
+	}
+	if len(got) != 5 {
+		t.Fatalf("consumed %d items, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("got = %v, want 1..5 in order", got)
+		}
+	}
+}
+
+func TestSemaphoreInitialCount(t *testing.T) {
+	s := uksched.New(uksched.Cooperative, sim.NewMachine())
+	defer s.Shutdown()
+	sem := NewSemaphore(2)
+	acquired := 0
+	for i := 0; i < 3; i++ {
+		s.NewThread("w", func(th *uksched.Thread) {
+			if sem.TryDown(th) {
+				acquired++
+			}
+		})
+	}
+	s.Run()
+	if acquired != 2 {
+		t.Fatalf("acquired = %d, want 2 (initial count)", acquired)
+	}
+}
+
+func TestNullLockIsFree(t *testing.T) {
+	m := sim.NewMachine()
+	s := uksched.New(uksched.Cooperative, m)
+	defer s.Shutdown()
+	var l Locker = NullLock{}
+	s.NewThread("w", func(th *uksched.Thread) {
+		before := m.CPU.Cycles()
+		for i := 0; i < 100; i++ {
+			l.Lock(th)
+			l.Unlock(th)
+		}
+		if m.CPU.Cycles() != before {
+			t.Error("NullLock charged cycles; must compile out")
+		}
+	})
+	s.Run()
+}
+
+func TestCondVarProducerConsumer(t *testing.T) {
+	s := uksched.New(uksched.Cooperative, sim.NewMachine())
+	defer s.Shutdown()
+	var mu Mutex
+	var cv CondVar
+	queue := 0
+	consumed := 0
+	s.NewThread("consumer", func(th *uksched.Thread) {
+		for i := 0; i < 3; i++ {
+			mu.Lock(th)
+			for queue == 0 {
+				cv.Wait(th, &mu)
+			}
+			queue--
+			consumed++
+			mu.Unlock(th)
+		}
+	})
+	s.NewThread("producer", func(th *uksched.Thread) {
+		for i := 0; i < 3; i++ {
+			mu.Lock(th)
+			queue++
+			mu.Unlock(th)
+			cv.Signal()
+			th.Yield()
+		}
+	})
+	if blocked := s.Run(); blocked != 0 {
+		t.Fatalf("deadlock: %d blocked", blocked)
+	}
+	if consumed != 3 {
+		t.Fatalf("consumed = %d", consumed)
+	}
+	if mu.Owner() != nil {
+		t.Fatal("mutex leaked")
+	}
+}
+
+func TestCondVarBroadcast(t *testing.T) {
+	s := uksched.New(uksched.Cooperative, sim.NewMachine())
+	defer s.Shutdown()
+	var mu Mutex
+	var cv CondVar
+	ready := false
+	woke := 0
+	for i := 0; i < 4; i++ {
+		s.NewThread("waiter", func(th *uksched.Thread) {
+			mu.Lock(th)
+			for !ready {
+				cv.Wait(th, &mu)
+			}
+			woke++
+			mu.Unlock(th)
+		})
+	}
+	s.NewThread("broadcaster", func(th *uksched.Thread) {
+		mu.Lock(th)
+		ready = true
+		mu.Unlock(th)
+		cv.Broadcast()
+	})
+	if blocked := s.Run(); blocked != 0 {
+		t.Fatalf("blocked = %d", blocked)
+	}
+	if woke != 4 {
+		t.Fatalf("woke = %d", woke)
+	}
+}

@@ -1,0 +1,139 @@
+// Package uknetdev implements the paper's core networking API (§3.1): a
+// driver-side interface decoupling network drivers from network stacks,
+// designed after DPDK's rte_netdev but supporting polling,
+// interrupt-driven and mixed operation.
+//
+// The API mirrors the paper's C signatures: applications own all memory
+// (uk_netbuf wrappers around app-allocated buffers), drivers register
+// send/receive callbacks, and uk_netdev_tx_burst/rx_burst move arrays of
+// packet buffers with counts passed in and out.
+package uknetdev
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MAC is an Ethernet hardware address.
+type MAC [6]byte
+
+// String renders the conventional colon form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Netbuf is the uk_netbuf packet wrapper (§3.1): meta-information around
+// an application-owned buffer. The layout is under the application's
+// control; drivers only read Data[Off:Off+Len].
+type Netbuf struct {
+	// Data is the backing buffer, allocated by the application or
+	// network stack (possibly from a ukalloc pool).
+	Data []byte
+	// Off is the start of packet bytes within Data (headroom before it
+	// lets stacks prepend headers without copying).
+	Off int
+	// Len is the packet length.
+	Len int
+	// Priv is per-packet application state (lwIP pbuf pointer etc.).
+	Priv any
+}
+
+// Bytes returns the packet payload view.
+func (nb *Netbuf) Bytes() []byte { return nb.Data[nb.Off : nb.Off+nb.Len] }
+
+// Prepend grows the packet at the front by n bytes (consuming headroom)
+// and returns the new front slice, or nil if headroom is insufficient.
+func (nb *Netbuf) Prepend(n int) []byte {
+	if nb.Off < n {
+		return nil
+	}
+	nb.Off -= n
+	nb.Len += n
+	return nb.Data[nb.Off : nb.Off+n]
+}
+
+// Trim removes n bytes from the front (after parsing a header).
+func (nb *Netbuf) Trim(n int) {
+	if n > nb.Len {
+		n = nb.Len
+	}
+	nb.Off += n
+	nb.Len -= n
+}
+
+// NewNetbuf allocates a netbuf with the given headroom and payload
+// capacity from plain Go memory (stacks with pools use their own).
+func NewNetbuf(headroom, capacity int) *Netbuf {
+	return &Netbuf{Data: make([]byte, headroom+capacity), Off: headroom}
+}
+
+// Errors returned by devices.
+var (
+	ErrDevStopped = errors.New("uknetdev: device not started")
+	ErrBadQueue   = errors.New("uknetdev: no such queue")
+)
+
+// Info describes driver capabilities the application reads before
+// configuring the device ("API interfaces for applications to provide
+// necessary information (e.g., supported number of queues and
+// offloading features)", §3.1).
+type Info struct {
+	MaxRxQueues, MaxTxQueues int
+	MaxMTU                   int
+	// Backend names the host-side datapath (vhost-net, vhost-user...).
+	Backend string
+}
+
+// QueueConfig configures one queue; memory management stays with the
+// application, which is why the ring size is here but no buffer pool.
+type QueueConfig struct {
+	Ring int // descriptor count (power of two)
+	// IntrHandler, when non-nil, is invoked when the queue transitions
+	// to "work available" while in interrupt mode.
+	IntrHandler func()
+}
+
+// Stats counts device activity.
+type Stats struct {
+	TxPackets, RxPackets uint64
+	TxBytes, RxBytes     uint64
+	TxDrops, RxDrops     uint64
+	Kicks                uint64 // guest->host notifications (VM exits)
+	IRQs                 uint64 // host->guest interrupts delivered
+}
+
+// Device is the uk_netdev interface. Drivers register their callbacks in
+// a uk_netdev structure; here, they implement this interface.
+type Device interface {
+	// Info reports capabilities.
+	Info() Info
+	// HWAddr returns the device MAC.
+	HWAddr() MAC
+	// Configure sets queue counts; must precede queue setup.
+	Configure(rxQueues, txQueues int) error
+	// RxQueueSetup / TxQueueSetup prepare one queue.
+	RxQueueSetup(q int, cfg QueueConfig) error
+	TxQueueSetup(q int, cfg QueueConfig) error
+	// Start enables the datapath.
+	Start() error
+
+	// TxBurst enqueues as many of pkts as fit on queue q. It returns
+	// the count enqueued and whether the queue has room for more
+	// (mirroring the paper's status flags).
+	TxBurst(q int, pkts []*Netbuf) (n int, more bool, err error)
+	// RxBurst fills pkts with received packets. It returns the count
+	// received and whether more packets are already waiting.
+	RxBurst(q int, pkts []*Netbuf) (n int, more bool, err error)
+
+	// EnableRxInterrupt switches queue q to interrupt mode: when the
+	// device has packets and the queue is empty-polled, the registered
+	// IntrHandler fires once, then the line disarms until re-enabled
+	// (the paper's storm-avoidance design: "the interrupt line is
+	// inactive until the transmit or receive function activates it
+	// again", §3.1).
+	EnableRxInterrupt(q int) error
+	DisableRxInterrupt(q int) error
+
+	// Stats returns counters.
+	Stats() Stats
+}

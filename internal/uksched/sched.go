@@ -1,0 +1,248 @@
+package uksched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"unikraft/internal/sim"
+)
+
+// Policy selects the scheduling discipline for a Scheduler, the choice
+// the paper's Kconfig menu exposes (ukschedcoop vs ukpreempt).
+type Policy int
+
+// Available policies.
+const (
+	// Cooperative runs each thread until it yields, blocks, sleeps or
+	// exits (ukschedcoop). The paper selects this for Redis because it
+	// "fits well with Redis's single threaded approach" (§5.3).
+	Cooperative Policy = iota
+	// Preemptive additionally charges a timer-interrupt context switch
+	// whenever a thread exceeds its timeslice between yield points
+	// (ukpreempt). Preemption happens at safe points — exactly how a
+	// guest timer interrupt lands at the next instruction boundary.
+	Preemptive
+)
+
+func (p Policy) String() string {
+	if p == Cooperative {
+		return "coop"
+	}
+	return "preempt"
+}
+
+// DefaultTimeslice is the preemptive policy's quantum: 10ms at 3.6GHz,
+// the Linux CFS-ish default granularity magnitude.
+const DefaultTimeslice = 36_000_000
+
+// Scheduler multiplexes threads over one virtual CPU.
+type Scheduler struct {
+	policy    Policy
+	machine   *sim.Machine
+	timeslice uint64
+
+	nextID   int
+	threads  []*Thread
+	runq     []*Thread
+	sleepers sleepHeap
+
+	current *Thread
+
+	// Switches counts context switches, Preemptions the involuntary
+	// ones (preemptive policy only).
+	Switches    uint64
+	Preemptions uint64
+
+	shutdown bool
+}
+
+// New creates a scheduler with the given policy on the machine.
+func New(policy Policy, m *sim.Machine) *Scheduler {
+	return &Scheduler{policy: policy, machine: m, timeslice: DefaultTimeslice}
+}
+
+// Name returns the policy name, matching the micro-library naming in the
+// paper's Figure 4 (ukschedcoop / ukpreempt).
+func (s *Scheduler) Name() string { return "uksched" + s.policy.String() }
+
+// Policy reports the scheduling discipline.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// SetTimeslice overrides the preemption quantum (cycles).
+func (s *Scheduler) SetTimeslice(cycles uint64) { s.timeslice = cycles }
+
+// NewThread creates a thread that will run fn and queues it.
+func (s *Scheduler) NewThread(name string, fn func(*Thread)) *Thread {
+	if s.shutdown {
+		panic("uksched: NewThread after Shutdown")
+	}
+	s.nextID++
+	t := &Thread{
+		ID:     s.nextID,
+		Name:   name,
+		fn:     fn,
+		sched:  s,
+		state:  StateReady,
+		resume: make(chan bool),
+		park:   make(chan parkMsg),
+	}
+	s.threads = append(s.threads, t)
+	s.runq = append(s.runq, t)
+	t.start()
+	return t
+}
+
+// Current returns the running thread, or nil outside Run.
+func (s *Scheduler) Current() *Thread { return s.current }
+
+// wake moves a blocked thread back to the run queue. Wait queues call
+// this; it is idempotent for already-runnable threads.
+func (s *Scheduler) wake(t *Thread) {
+	switch t.state {
+	case StateBlocked, StateSleeping:
+		t.state = StateReady
+		s.runq = append(s.runq, t)
+	}
+}
+
+// Run executes threads until the system is quiescent: no thread is
+// runnable and no thread is sleeping (blocked threads may remain; they
+// wait for external events such as packet arrival, after which the
+// caller invokes Run again). It returns the number of threads still
+// blocked.
+func (s *Scheduler) Run() int {
+	for {
+		if len(s.runq) == 0 {
+			// Virtual-time jump: if someone is sleeping, advance the
+			// clock to the earliest deadline and wake the sleepers due.
+			if s.sleepers.Len() == 0 {
+				break
+			}
+			earliest := s.sleepers.peek().wakeAt
+			if now := s.machine.CPU.Cycles(); earliest > now {
+				s.machine.Charge(earliest - now)
+			}
+			s.wakeDueSleepers()
+			continue
+		}
+		t := s.pick()
+		s.dispatch(t)
+		s.wakeDueSleepers()
+	}
+	blocked := 0
+	for _, t := range s.threads {
+		if t.state == StateBlocked {
+			blocked++
+		}
+	}
+	return blocked
+}
+
+// pick removes and returns the next runnable thread (FIFO round-robin
+// for both policies; they differ in preemption accounting).
+func (s *Scheduler) pick() *Thread {
+	t := s.runq[0]
+	s.runq = s.runq[1:]
+	return t
+}
+
+// dispatch switches to t and processes its park message.
+func (s *Scheduler) dispatch(t *Thread) {
+	s.Switches++
+	t.CtxSwitches++
+	s.machine.Charge(s.machine.Costs.ContextSwitch)
+	s.current = t
+	t.state = StateRunning
+	sliceStart := s.machine.CPU.Cycles()
+
+	t.resume <- true
+	msg := <-t.park
+	s.current = nil
+
+	if s.policy == Preemptive {
+		// Charge timer interrupts for every expired quantum the thread
+		// consumed before reaching this yield point. This is the
+		// "jitter caused by a scheduler within the guest" the paper's
+		// run-to-completion configurations avoid (§3.3).
+		ran := s.machine.CPU.Cycles() - sliceStart
+		for q := ran / s.timeslice; q > 0; q-- {
+			s.Preemptions++
+			s.machine.Charge(s.machine.Costs.ContextSwitch)
+		}
+	}
+
+	switch msg.reason {
+	case parkYield:
+		s.runq = append(s.runq, t)
+	case parkBlock:
+		// Stays off the run queue until woken.
+	case parkSleep:
+		heap.Push(&s.sleepers, t)
+	case parkExit:
+		// Goroutine has finished.
+	}
+}
+
+// wakeDueSleepers moves sleepers whose deadline has passed to the run
+// queue.
+func (s *Scheduler) wakeDueSleepers() {
+	now := s.machine.CPU.Cycles()
+	for s.sleepers.Len() > 0 && s.sleepers.peek().wakeAt <= now {
+		t := heap.Pop(&s.sleepers).(*Thread)
+		t.state = StateReady
+		s.runq = append(s.runq, t)
+	}
+}
+
+// Quiescent reports whether Run would return immediately.
+func (s *Scheduler) Quiescent() bool {
+	return len(s.runq) == 0 && s.sleepers.Len() == 0
+}
+
+// LiveThreads counts threads that have not exited.
+func (s *Scheduler) LiveThreads() int {
+	n := 0
+	for _, t := range s.threads {
+		if t.state != StateExited {
+			n++
+		}
+	}
+	return n
+}
+
+// Shutdown unwinds every non-exited thread's goroutine. The scheduler
+// must be quiescent (not inside Run). It is safe to call multiple times.
+func (s *Scheduler) Shutdown() {
+	if s.shutdown {
+		return
+	}
+	s.shutdown = true
+	for _, t := range s.threads {
+		if t.state == StateExited {
+			continue
+		}
+		if t.state == StateRunning {
+			panic(fmt.Sprintf("uksched: Shutdown with running %v", t))
+		}
+		t.resume <- false
+		t.state = StateExited
+	}
+	s.runq = nil
+	s.sleepers = nil
+}
+
+// sleepHeap orders sleeping threads by wake deadline.
+type sleepHeap []*Thread
+
+func (h sleepHeap) Len() int           { return len(h) }
+func (h sleepHeap) Less(i, j int) bool { return h[i].wakeAt < h[j].wakeAt }
+func (h sleepHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *sleepHeap) Push(x any)        { *h = append(*h, x.(*Thread)) }
+func (h *sleepHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}
+func (h sleepHeap) peek() *Thread { return h[0] }

@@ -1,0 +1,213 @@
+package uksched
+
+import (
+	"testing"
+
+	"unikraft/internal/sim"
+)
+
+func newSched(p Policy) *Scheduler {
+	return New(p, sim.NewMachine())
+}
+
+func TestRoundRobinOrder(t *testing.T) {
+	s := newSched(Cooperative)
+	defer s.Shutdown()
+	var order []int
+	for i := 1; i <= 3; i++ {
+		i := i
+		s.NewThread("worker", func(th *Thread) {
+			for round := 0; round < 3; round++ {
+				order = append(order, i)
+				th.Yield()
+			}
+		})
+	}
+	if blocked := s.Run(); blocked != 0 {
+		t.Fatalf("Run left %d blocked threads", blocked)
+	}
+	want := []int{1, 2, 3, 1, 2, 3, 1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunToCompletionWithoutYield(t *testing.T) {
+	s := newSched(Cooperative)
+	defer s.Shutdown()
+	done := 0
+	s.NewThread("a", func(th *Thread) { done++ })
+	s.NewThread("b", func(th *Thread) { done++ })
+	s.Run()
+	if done != 2 {
+		t.Fatalf("done = %d, want 2", done)
+	}
+	if s.LiveThreads() != 0 {
+		t.Fatalf("LiveThreads = %d, want 0", s.LiveThreads())
+	}
+}
+
+func TestBlockAndWake(t *testing.T) {
+	s := newSched(Cooperative)
+	defer s.Shutdown()
+	var wq WaitQueue
+	got := ""
+	s.NewThread("consumer", func(th *Thread) {
+		wq.Wait(th)
+		got += "consumed"
+	})
+	if blocked := s.Run(); blocked != 1 {
+		t.Fatalf("blocked = %d, want 1", blocked)
+	}
+	if got != "" {
+		t.Fatalf("consumer ran before wake: %q", got)
+	}
+	// External event (e.g. packet arrival) wakes the thread.
+	wq.WakeOne()
+	if blocked := s.Run(); blocked != 0 {
+		t.Fatalf("blocked after wake = %d, want 0", blocked)
+	}
+	if got != "consumed" {
+		t.Fatalf("got = %q", got)
+	}
+}
+
+func TestWaitForCondition(t *testing.T) {
+	s := newSched(Cooperative)
+	defer s.Shutdown()
+	var wq WaitQueue
+	ready := false
+	woke := 0
+	s.NewThread("waiter", func(th *Thread) {
+		wq.WaitFor(th, func() bool { return ready })
+		woke++
+	})
+	s.Run()
+	// Spurious wake: condition still false, thread must re-park.
+	wq.WakeAll()
+	if blocked := s.Run(); blocked != 1 {
+		t.Fatalf("blocked after spurious wake = %d, want 1", blocked)
+	}
+	if woke != 0 {
+		t.Fatal("WaitFor returned on spurious wake")
+	}
+	ready = true
+	wq.WakeAll()
+	s.Run()
+	if woke != 1 {
+		t.Fatalf("woke = %d, want 1", woke)
+	}
+}
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	m := sim.NewMachine()
+	s := New(Cooperative, m)
+	defer s.Shutdown()
+	const nap = 1_000_000 // cycles
+	s.NewThread("sleeper", func(th *Thread) {
+		th.Sleep(nap)
+	})
+	start := m.CPU.Cycles()
+	s.Run()
+	if got := m.CPU.Cycles() - start; got < nap {
+		t.Fatalf("virtual time advanced %d cycles, want >= %d", got, nap)
+	}
+}
+
+func TestSleepOrdering(t *testing.T) {
+	m := sim.NewMachine()
+	s := New(Cooperative, m)
+	defer s.Shutdown()
+	var order []string
+	s.NewThread("late", func(th *Thread) {
+		th.Sleep(2_000_000)
+		order = append(order, "late")
+	})
+	s.NewThread("early", func(th *Thread) {
+		th.Sleep(1_000_000)
+		order = append(order, "early")
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != "early" || order[1] != "late" {
+		t.Fatalf("order = %v, want [early late]", order)
+	}
+}
+
+func TestContextSwitchCost(t *testing.T) {
+	m := sim.NewMachine()
+	s := New(Cooperative, m)
+	defer s.Shutdown()
+	s.NewThread("spinner", func(th *Thread) {
+		for i := 0; i < 10; i++ {
+			th.Yield()
+		}
+	})
+	s.Run()
+	wantMin := s.Switches * m.Costs.ContextSwitch
+	if got := m.CPU.Cycles(); got < wantMin {
+		t.Fatalf("cycles = %d, want >= %d (%d switches)", got, wantMin, s.Switches)
+	}
+}
+
+func TestPreemptionAccounting(t *testing.T) {
+	m := sim.NewMachine()
+	s := New(Preemptive, m)
+	defer s.Shutdown()
+	s.SetTimeslice(1000)
+	s.NewThread("hog", func(th *Thread) {
+		th.Charge(10_500) // consumes 10.5 quanta before yielding
+	})
+	s.Run()
+	if s.Preemptions < 10 {
+		t.Fatalf("Preemptions = %d, want >= 10", s.Preemptions)
+	}
+
+	// The same work under the cooperative policy suffers no preemption
+	// jitter — the paper's motivation for run-to-completion images.
+	m2 := sim.NewMachine()
+	c := New(Cooperative, m2)
+	defer c.Shutdown()
+	c.NewThread("hog", func(th *Thread) { th.Charge(10_500) })
+	c.Run()
+	if c.Preemptions != 0 {
+		t.Fatalf("cooperative Preemptions = %d, want 0", c.Preemptions)
+	}
+	if m2.CPU.Cycles() >= m.CPU.Cycles() {
+		t.Fatalf("cooperative (%d cycles) not cheaper than preemptive (%d)", m2.CPU.Cycles(), m.CPU.Cycles())
+	}
+}
+
+func TestShutdownUnwindsBlockedThreads(t *testing.T) {
+	s := newSched(Cooperative)
+	var wq WaitQueue
+	for i := 0; i < 5; i++ {
+		s.NewThread("stuck", func(th *Thread) { wq.Wait(th) })
+	}
+	if blocked := s.Run(); blocked != 5 {
+		t.Fatalf("blocked = %d, want 5", blocked)
+	}
+	s.Shutdown() // must not hang or panic
+	s.Shutdown() // idempotent
+}
+
+func TestManyThreads(t *testing.T) {
+	s := newSched(Cooperative)
+	defer s.Shutdown()
+	const n = 500
+	count := 0
+	for i := 0; i < n; i++ {
+		s.NewThread("w", func(th *Thread) {
+			th.Yield()
+			count++
+		})
+	}
+	s.Run()
+	if count != n {
+		t.Fatalf("count = %d, want %d", count, n)
+	}
+}

@@ -1,0 +1,154 @@
+// Package uksched is the scheduling API of the Unikraft reproduction
+// (paper §3.3). Scheduling is available but optional: images can be built
+// with no scheduler at all (run-to-completion event loops, the VNF case),
+// with the cooperative scheduler, or with the preemptive scheduler.
+//
+// Threads are coroutines backed by goroutines with a strict handshake:
+// exactly one thread (or the scheduler) runs at a time, so simulation
+// state needs no locking and execution is fully deterministic. The
+// scheduler also owns virtual time: when every thread is asleep, the
+// clock jumps to the earliest deadline, which is how TCP retransmission
+// timers and boot-time delays execute instantly in wall time.
+package uksched
+
+import (
+	"fmt"
+	"time"
+
+	"unikraft/internal/sim"
+)
+
+// State is a thread's lifecycle state.
+type State int
+
+// Thread states.
+const (
+	StateReady State = iota
+	StateRunning
+	StateBlocked
+	StateSleeping
+	StateExited
+)
+
+var stateNames = [...]string{"ready", "running", "blocked", "sleeping", "exited"}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// parkReason tells the scheduler why a thread handed control back.
+type parkReason int
+
+const (
+	parkYield parkReason = iota
+	parkBlock
+	parkSleep
+	parkExit
+)
+
+type parkMsg struct {
+	reason   parkReason
+	deadline uint64 // for parkSleep: absolute cycle count
+}
+
+// killed is the panic value used to unwind a thread's goroutine when its
+// scheduler shuts down.
+type killed struct{}
+
+// Thread is a schedulable execution context.
+type Thread struct {
+	// ID is unique within one scheduler.
+	ID int
+	// Name is a diagnostic label.
+	Name string
+
+	state State
+	fn    func(*Thread)
+	sched *Scheduler
+
+	resume chan bool    // scheduler -> thread; false means die
+	park   chan parkMsg // thread -> scheduler
+
+	wakeAt uint64 // valid when sleeping
+
+	// CtxSwitches counts how many times this thread was switched in.
+	CtxSwitches uint64
+}
+
+// State reports the thread's current state.
+func (t *Thread) State() State { return t.state }
+
+// Scheduler returns the owning scheduler.
+func (t *Thread) Scheduler() *Scheduler { return t.sched }
+
+// String implements fmt.Stringer.
+func (t *Thread) String() string {
+	return fmt.Sprintf("thread(%d:%s,%s)", t.ID, t.Name, t.state)
+}
+
+// start launches the thread's goroutine, parked until first resume.
+func (t *Thread) start() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killed); ok {
+					return // scheduler shutdown
+				}
+				panic(r)
+			}
+		}()
+		if !<-t.resume {
+			panic(killed{})
+		}
+		t.fn(t)
+		t.state = StateExited
+		t.park <- parkMsg{reason: parkExit}
+	}()
+}
+
+// handoff parks the current thread with the given message and waits to
+// be resumed. Must be called from the thread's own goroutine.
+func (t *Thread) handoff(m parkMsg) {
+	t.park <- m
+	if !<-t.resume {
+		panic(killed{})
+	}
+}
+
+// Yield voluntarily gives up the CPU; the thread stays runnable.
+func (t *Thread) Yield() {
+	t.state = StateReady
+	t.handoff(parkMsg{reason: parkYield})
+	t.state = StateRunning
+}
+
+// Block parks the thread until some other agent calls its scheduler's
+// Wake. Callers normally use WaitQueue.Wait instead.
+func (t *Thread) block() {
+	t.state = StateBlocked
+	t.handoff(parkMsg{reason: parkBlock})
+	t.state = StateRunning
+}
+
+// Sleep parks the thread for d cycles of virtual time.
+func (t *Thread) Sleep(cycles uint64) {
+	t.state = StateSleeping
+	t.wakeAt = t.sched.machine.CPU.Cycles() + cycles
+	t.handoff(parkMsg{reason: parkSleep, deadline: t.wakeAt})
+	t.state = StateRunning
+}
+
+// SleepDuration parks the thread for a wall-clock duration of virtual
+// time.
+func (t *Thread) SleepDuration(d time.Duration) {
+	t.Sleep(t.sched.machine.CPU.ToCycles(d))
+}
+
+// Charge advances virtual time on behalf of this thread's work.
+func (t *Thread) Charge(cycles uint64) { t.sched.machine.Charge(cycles) }
+
+// Machine returns the simulated machine this thread runs on.
+func (t *Thread) Machine() *sim.Machine { return t.sched.machine }

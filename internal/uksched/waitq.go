@@ -1,0 +1,52 @@
+package uksched
+
+// WaitQueue parks threads waiting for a condition, the primitive under
+// uklock's mutexes/semaphores and the netstack's blocking socket
+// operations (the paper's uknetdev interrupt callback "could be used to
+// unblock a receiving or sending thread", §3.1).
+type WaitQueue struct {
+	waiters []*Thread
+}
+
+// Wait parks t until WakeOne/WakeAll selects it. Must be called by t
+// itself.
+func (wq *WaitQueue) Wait(t *Thread) {
+	wq.waiters = append(wq.waiters, t)
+	t.block()
+}
+
+// WaitFor parks t repeatedly until cond() holds. The condition is
+// re-checked after every wake-up, making it safe against spurious or
+// broadcast wake-ups (condition-variable semantics).
+func (wq *WaitQueue) WaitFor(t *Thread, cond func() bool) {
+	for !cond() {
+		wq.Wait(t)
+	}
+}
+
+// WakeOne makes the oldest waiter runnable. Returns false if none waited.
+func (wq *WaitQueue) WakeOne() bool {
+	if len(wq.waiters) == 0 {
+		return false
+	}
+	t := wq.waiters[0]
+	wq.waiters = wq.waiters[1:]
+	t.sched.wake(t)
+	return true
+}
+
+// WakeAll makes every waiter runnable and returns how many there were.
+func (wq *WaitQueue) WakeAll() int {
+	n := len(wq.waiters)
+	for _, t := range wq.waiters {
+		t.sched.wake(t)
+	}
+	wq.waiters = wq.waiters[:0]
+	return n
+}
+
+// Empty reports whether no thread is waiting.
+func (wq *WaitQueue) Empty() bool { return len(wq.waiters) == 0 }
+
+// Len reports the number of waiting threads.
+func (wq *WaitQueue) Len() int { return len(wq.waiters) }

@@ -1,0 +1,244 @@
+package ukshim
+
+import (
+	"unikraft/internal/netstack"
+)
+
+// This file is the posix-socket micro-library (Figure 4's ➁ path): BSD
+// socket syscalls registered with the shim, backed by the netstack. It
+// gives natively-built applications the "standard socket interface"
+// while the specialized path codes straight against uknetdev (➆).
+
+// Socket syscall numbers (x86-64).
+const (
+	SysSocket   = 41
+	SysConnect  = 42
+	SysAccept   = 43
+	SysSendto   = 44
+	SysRecvfrom = 45
+	SysBind     = 49
+	SysListen   = 50
+)
+
+// Socket type argument values.
+const (
+	SockStream = 1 // TCP
+	SockDgram  = 2 // UDP
+)
+
+// SocketBackend binds socket syscalls to a stack. Socket descriptors
+// live in their own table (Unikraft's posix-fdtab multiplexes files and
+// sockets; keeping them separate here keeps both layers simple, with
+// descriptor numbers offset so they never collide with file fds).
+type SocketBackend struct {
+	Stack *netstack.Stack
+	socks []*sock
+	// Bytes stages buffer arguments, like FileBackend.
+	Bytes [][]byte
+	// Addrs stages sockaddr arguments.
+	Addrs []netstack.AddrPort
+}
+
+const sockFDBase = 1 << 20 // socket descriptors start here
+
+type sock struct {
+	typ  int
+	port uint16
+	udp  *netstack.UDPConn
+	tcp  *netstack.TCPConn
+	lis  *netstack.Listener
+	used bool
+}
+
+// StageBytes registers a buffer argument and returns its handle.
+func (sb *SocketBackend) StageBytes(b []byte) uint64 {
+	sb.Bytes = append(sb.Bytes, b)
+	return uint64(len(sb.Bytes) - 1)
+}
+
+// StageAddr registers a sockaddr argument and returns its handle.
+func (sb *SocketBackend) StageAddr(a netstack.AddrPort) uint64 {
+	sb.Addrs = append(sb.Addrs, a)
+	return uint64(len(sb.Addrs) - 1)
+}
+
+// LastAddr returns the most recently recorded peer address (the
+// recvfrom out-parameter in this staged ABI).
+func (sb *SocketBackend) LastAddr() netstack.AddrPort {
+	if len(sb.Addrs) == 0 {
+		return netstack.AddrPort{}
+	}
+	return sb.Addrs[len(sb.Addrs)-1]
+}
+
+func (sb *SocketBackend) install(s *sock) int64 {
+	for i, slot := range sb.socks {
+		if slot == nil || !slot.used {
+			sb.socks[i] = s
+			return int64(sockFDBase + i)
+		}
+	}
+	sb.socks = append(sb.socks, s)
+	return int64(sockFDBase + len(sb.socks) - 1)
+}
+
+func (sb *SocketBackend) lookup(fd uint64) *sock {
+	i := int(fd) - sockFDBase
+	if i < 0 || i >= len(sb.socks) || sb.socks[i] == nil || !sb.socks[i].used {
+		return nil
+	}
+	return sb.socks[i]
+}
+
+// RegisterSocketSyscalls installs the posix-socket handlers.
+func RegisterSocketSyscalls(s *Shim, sb *SocketBackend) {
+	s.Register(SysSocket, "socket", func(a [6]uint64) int64 {
+		typ := int(a[1])
+		if typ != SockStream && typ != SockDgram {
+			return -EINVAL
+		}
+		return sb.install(&sock{typ: typ, used: true})
+	})
+
+	s.Register(SysBind, "bind", func(a [6]uint64) int64 {
+		sk := sb.lookup(a[0])
+		if sk == nil {
+			return -EBADF
+		}
+		if a[1] >= uint64(len(sb.Addrs)) {
+			return -EINVAL
+		}
+		addr := sb.Addrs[a[1]]
+		if sk.typ == SockDgram {
+			conn, err := sb.Stack.BindUDP(addr.Port)
+			if err != nil {
+				return -EINVAL
+			}
+			sk.udp = conn
+			return 0
+		}
+		// TCP bind records the port; listen() opens the socket.
+		sk.tcp = nil
+		sk.lis = nil
+		sk.used = true
+		sk.port = addr.Port
+		return 0
+	})
+
+	s.Register(SysListen, "listen", func(a [6]uint64) int64 {
+		sk := sb.lookup(a[0])
+		if sk == nil || sk.typ != SockStream {
+			return -EBADF
+		}
+		lis, err := sb.Stack.ListenTCP(sk.port, int(a[1]))
+		if err != nil {
+			return -EINVAL
+		}
+		sk.lis = lis
+		return 0
+	})
+
+	s.Register(SysAccept, "accept", func(a [6]uint64) int64 {
+		sk := sb.lookup(a[0])
+		if sk == nil || sk.lis == nil {
+			return -EBADF
+		}
+		conn, ok := sk.lis.Accept()
+		if !ok {
+			return -EAGAIN // non-blocking semantics
+		}
+		return sb.install(&sock{typ: SockStream, tcp: conn, used: true})
+	})
+
+	s.Register(SysConnect, "connect", func(a [6]uint64) int64 {
+		sk := sb.lookup(a[0])
+		if sk == nil || sk.typ != SockStream {
+			return -EBADF
+		}
+		if a[1] >= uint64(len(sb.Addrs)) {
+			return -EINVAL
+		}
+		conn, err := sb.Stack.ConnectTCP(sb.Addrs[a[1]])
+		if err != nil {
+			return -EINVAL
+		}
+		sk.tcp = conn
+		return 0
+	})
+
+	s.Register(SysSendto, "sendto", func(a [6]uint64) int64 {
+		sk := sb.lookup(a[0])
+		if sk == nil {
+			return -EBADF
+		}
+		if a[1] >= uint64(len(sb.Bytes)) {
+			return -EINVAL
+		}
+		data := sb.Bytes[a[1]]
+		switch sk.typ {
+		case SockDgram:
+			if sk.udp == nil {
+				// Autobind, as Linux does on first send.
+				conn, err := sb.Stack.BindUDP(0)
+				if err != nil {
+					return -EINVAL
+				}
+				sk.udp = conn
+			}
+			if a[4] >= uint64(len(sb.Addrs)) {
+				return -EINVAL
+			}
+			if err := sk.udp.SendTo(sb.Addrs[a[4]], data); err != nil {
+				return -EINVAL
+			}
+			return int64(len(data))
+		case SockStream:
+			if sk.tcp == nil {
+				return -EBADF
+			}
+			n, err := sk.tcp.Write(data)
+			if err != nil && n == 0 {
+				return -EAGAIN
+			}
+			return int64(n)
+		}
+		return -EINVAL
+	})
+
+	s.Register(SysRecvfrom, "recvfrom", func(a [6]uint64) int64 {
+		sk := sb.lookup(a[0])
+		if sk == nil {
+			return -EBADF
+		}
+		if a[1] >= uint64(len(sb.Bytes)) {
+			return -EINVAL
+		}
+		buf := sb.Bytes[a[1]]
+		switch sk.typ {
+		case SockDgram:
+			if sk.udp == nil {
+				return -EBADF
+			}
+			d, ok := sk.udp.RecvFrom()
+			if !ok {
+				return -EAGAIN
+			}
+			n := copy(buf, d.Data)
+			sb.Addrs = append(sb.Addrs, d.From) // out-param
+			return int64(n)
+		case SockStream:
+			if sk.tcp == nil {
+				return -EBADF
+			}
+			n, err := sk.tcp.Read(buf)
+			if err == netstack.ErrWouldBlock {
+				return -EAGAIN
+			}
+			if err != nil && n == 0 {
+				return 0 // EOF convention
+			}
+			return int64(n)
+		}
+		return -EINVAL
+	})
+}

@@ -1,0 +1,149 @@
+package ukshim
+
+import (
+	"testing"
+
+	"unikraft/internal/netstack"
+	"unikraft/internal/sim"
+	"unikraft/internal/uknetdev"
+)
+
+// sockWorld wires two shims (client + server) over a virtio pair, each
+// with its own stack — a full POSIX-over-unikernel topology.
+type sockWorld struct {
+	cm, sm         *sim.Machine
+	client, server *netstack.Stack
+	cs, ss         *Shim
+	cb, sb         *SocketBackend
+}
+
+func newSockWorld(t *testing.T) *sockWorld {
+	t.Helper()
+	cm, sm := sim.NewMachine(), sim.NewMachine()
+	cd, sd, err := uknetdev.NewPair(cm, sm, uknetdev.VhostNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &sockWorld{cm: cm, sm: sm}
+	w.client = netstack.New(cm, cd, netstack.Config{Addr: netstack.IP(10, 0, 0, 1)})
+	w.server = netstack.New(sm, sd, netstack.Config{Addr: netstack.IP(10, 0, 0, 2)})
+	w.cs = New(cm, ModeUnikraftTrap)
+	w.ss = New(sm, ModeUnikraftTrap)
+	w.cb = &SocketBackend{Stack: w.client}
+	w.sb = &SocketBackend{Stack: w.server}
+	RegisterSocketSyscalls(w.cs, w.cb)
+	RegisterSocketSyscalls(w.ss, w.sb)
+	return w
+}
+
+func (w *sockWorld) pump() { netstack.Pump(w.client, w.server) }
+
+func TestUDPSocketsThroughShim(t *testing.T) {
+	w := newSockWorld(t)
+	// Server: socket + bind.
+	sfd := w.ss.Invoke(SysSocket, [6]uint64{0, SockDgram})
+	if sfd < sockFDBase {
+		t.Fatalf("socket = %d", sfd)
+	}
+	bindAddr := w.sb.StageAddr(netstack.AddrPort{Port: 7777})
+	if rc := w.ss.Invoke(SysBind, [6]uint64{uint64(sfd), bindAddr}); rc != 0 {
+		t.Fatalf("bind = %d", rc)
+	}
+	// Client: socket + sendto (autobind).
+	cfd := w.cs.Invoke(SysSocket, [6]uint64{0, SockDgram})
+	dst := w.cb.StageAddr(netstack.AddrPort{Addr: netstack.IP(10, 0, 0, 2), Port: 7777})
+	msg := w.cb.StageBytes([]byte("posix datagram"))
+	if n := w.cs.Invoke(SysSendto, [6]uint64{uint64(cfd), msg, 0, 0, dst}); n != 14 {
+		t.Fatalf("sendto = %d", n)
+	}
+	w.pump()
+	// Server: recvfrom.
+	buf := make([]byte, 64)
+	bufIdx := w.sb.StageBytes(buf)
+	n := w.ss.Invoke(SysRecvfrom, [6]uint64{uint64(sfd), bufIdx})
+	if n != 14 || string(buf[:n]) != "posix datagram" {
+		t.Fatalf("recvfrom = %d %q", n, buf[:n])
+	}
+	if from := w.sb.LastAddr(); from.Addr != netstack.IP(10, 0, 0, 1) {
+		t.Fatalf("peer addr = %v", from)
+	}
+	// Empty queue -> EAGAIN.
+	if rc := w.ss.Invoke(SysRecvfrom, [6]uint64{uint64(sfd), bufIdx}); rc != -EAGAIN {
+		t.Fatalf("empty recvfrom = %d, want -EAGAIN", rc)
+	}
+}
+
+func TestTCPSocketsThroughShim(t *testing.T) {
+	w := newSockWorld(t)
+	// Server: socket/bind/listen.
+	sfd := w.ss.Invoke(SysSocket, [6]uint64{0, SockStream})
+	bindAddr := w.sb.StageAddr(netstack.AddrPort{Port: 80})
+	if rc := w.ss.Invoke(SysBind, [6]uint64{uint64(sfd), bindAddr}); rc != 0 {
+		t.Fatalf("bind = %d", rc)
+	}
+	if rc := w.ss.Invoke(SysListen, [6]uint64{uint64(sfd), 8}); rc != 0 {
+		t.Fatalf("listen = %d", rc)
+	}
+	// Accept before any connection: EAGAIN.
+	if rc := w.ss.Invoke(SysAccept, [6]uint64{uint64(sfd)}); rc != -EAGAIN {
+		t.Fatalf("early accept = %d", rc)
+	}
+	// Client: socket/connect.
+	cfd := w.cs.Invoke(SysSocket, [6]uint64{0, SockStream})
+	dst := w.cb.StageAddr(netstack.AddrPort{Addr: netstack.IP(10, 0, 0, 2), Port: 80})
+	if rc := w.cs.Invoke(SysConnect, [6]uint64{uint64(cfd), dst}); rc != 0 {
+		t.Fatalf("connect = %d", rc)
+	}
+	w.pump()
+	afd := w.ss.Invoke(SysAccept, [6]uint64{uint64(sfd)})
+	if afd < sockFDBase {
+		t.Fatalf("accept = %d", afd)
+	}
+	// Data both ways through sendto/recvfrom.
+	req := w.cb.StageBytes([]byte("ping"))
+	if n := w.cs.Invoke(SysSendto, [6]uint64{uint64(cfd), req}); n != 4 {
+		t.Fatalf("send = %d", n)
+	}
+	w.pump()
+	buf := make([]byte, 16)
+	bufIdx := w.sb.StageBytes(buf)
+	if n := w.ss.Invoke(SysRecvfrom, [6]uint64{uint64(afd), bufIdx}); n != 4 || string(buf[:4]) != "ping" {
+		t.Fatalf("server recv = %d %q", n, buf[:4])
+	}
+	resp := w.sb.StageBytes([]byte("pong"))
+	if n := w.ss.Invoke(SysSendto, [6]uint64{uint64(afd), resp}); n != 4 {
+		t.Fatalf("server send = %d", n)
+	}
+	w.pump()
+	cbuf := make([]byte, 16)
+	cbufIdx := w.cb.StageBytes(cbuf)
+	if n := w.cs.Invoke(SysRecvfrom, [6]uint64{uint64(cfd), cbufIdx}); n != 4 || string(cbuf[:4]) != "pong" {
+		t.Fatalf("client recv = %d %q", n, cbuf[:4])
+	}
+}
+
+func TestSocketErrnoPaths(t *testing.T) {
+	w := newSockWorld(t)
+	if rc := w.ss.Invoke(SysSocket, [6]uint64{0, 99}); rc != -EINVAL {
+		t.Errorf("bad type = %d", rc)
+	}
+	if rc := w.ss.Invoke(SysBind, [6]uint64{12345, 0}); rc != -EBADF {
+		t.Errorf("bind bad fd = %d", rc)
+	}
+	if rc := w.ss.Invoke(SysListen, [6]uint64{42, 1}); rc != -EBADF {
+		t.Errorf("listen bad fd = %d", rc)
+	}
+	sfd := w.ss.Invoke(SysSocket, [6]uint64{0, SockDgram})
+	if rc := w.ss.Invoke(SysListen, [6]uint64{uint64(sfd), 1}); rc != -EBADF {
+		t.Errorf("listen on dgram = %d", rc)
+	}
+	// Double bind to the same UDP port fails.
+	a1 := w.sb.StageAddr(netstack.AddrPort{Port: 5353})
+	if rc := w.ss.Invoke(SysBind, [6]uint64{uint64(sfd), a1}); rc != 0 {
+		t.Fatalf("bind = %d", rc)
+	}
+	sfd2 := w.ss.Invoke(SysSocket, [6]uint64{0, SockDgram})
+	if rc := w.ss.Invoke(SysBind, [6]uint64{uint64(sfd2), a1}); rc != -EINVAL {
+		t.Errorf("double bind = %d", rc)
+	}
+}

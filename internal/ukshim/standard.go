@@ -1,0 +1,197 @@
+package ukshim
+
+import (
+	"time"
+
+	"unikraft/internal/vfscore"
+)
+
+// Linux x86-64 syscall numbers used by the standard registration.
+const (
+	SysRead         = 0
+	SysWrite        = 1
+	SysOpen         = 2
+	SysClose        = 3
+	SysStat         = 4
+	SysFstat        = 5
+	SysLseek        = 8
+	SysMmap         = 9
+	SysBrk          = 12
+	SysPread64      = 17
+	SysPwrite64     = 18
+	SysGetpid       = 39
+	SysExit         = 60
+	SysUname        = 63
+	SysGetcwd       = 79
+	SysMkdir        = 83
+	SysUnlink       = 87
+	SysGettimeofday = 96
+	SysClockGettime = 228
+	SysNanosleep    = 35
+	SysOpenat       = 257
+)
+
+// FileBackend binds file syscalls to a VFS; the registration mirrors how
+// vfscore registers its handlers with the shim in Unikraft.
+type FileBackend struct {
+	VFS *vfscore.VFS
+	// Buf translates guest "pointers" (offsets into a flat argument
+	// buffer) for the simulated ABI: syscall args carry indexes into
+	// Strings/Bytes staged by the caller.
+	Strings []string
+	Bytes   [][]byte
+}
+
+// StageString registers a string argument and returns its handle.
+func (fb *FileBackend) StageString(s string) uint64 {
+	fb.Strings = append(fb.Strings, s)
+	return uint64(len(fb.Strings) - 1)
+}
+
+// StageBytes registers a byte-slice argument and returns its handle.
+func (fb *FileBackend) StageBytes(b []byte) uint64 {
+	fb.Bytes = append(fb.Bytes, b)
+	return uint64(len(fb.Bytes) - 1)
+}
+
+func errno(err error) int64 {
+	switch err {
+	case nil:
+		return 0
+	case vfscore.ErrNotExist:
+		return -ENOENT
+	case vfscore.ErrBadFD:
+		return -EBADF
+	default:
+		return -EINVAL
+	}
+}
+
+// RegisterFileSyscalls installs the vfscore-backed handlers.
+func RegisterFileSyscalls(s *Shim, fb *FileBackend) {
+	s.Register(SysOpen, "open", func(a [6]uint64) int64 {
+		if a[0] >= uint64(len(fb.Strings)) {
+			return -EINVAL
+		}
+		fd, err := fb.VFS.Open(fb.Strings[a[0]], int(a[1]))
+		if err != nil {
+			return errno(err)
+		}
+		return int64(fd)
+	})
+	s.Register(SysOpenat, "openat", func(a [6]uint64) int64 {
+		// dirfd ignored: absolute paths only in the simulated ABI.
+		if a[1] >= uint64(len(fb.Strings)) {
+			return -EINVAL
+		}
+		fd, err := fb.VFS.Open(fb.Strings[a[1]], int(a[2]))
+		if err != nil {
+			return errno(err)
+		}
+		return int64(fd)
+	})
+	s.Register(SysClose, "close", func(a [6]uint64) int64 {
+		return errno(fb.VFS.Close(int(a[0])))
+	})
+	s.Register(SysRead, "read", func(a [6]uint64) int64 {
+		if a[1] >= uint64(len(fb.Bytes)) {
+			return -EINVAL
+		}
+		n, err := fb.VFS.Read(int(a[0]), fb.Bytes[a[1]])
+		if err != nil {
+			return errno(err)
+		}
+		return int64(n)
+	})
+	s.Register(SysWrite, "write", func(a [6]uint64) int64 {
+		if a[1] >= uint64(len(fb.Bytes)) {
+			return -EINVAL
+		}
+		n, err := fb.VFS.Write(int(a[0]), fb.Bytes[a[1]])
+		if err != nil {
+			return errno(err)
+		}
+		return int64(n)
+	})
+	s.Register(SysPread64, "pread64", func(a [6]uint64) int64 {
+		if a[1] >= uint64(len(fb.Bytes)) {
+			return -EINVAL
+		}
+		n, err := fb.VFS.PRead(int(a[0]), fb.Bytes[a[1]], int64(a[3]))
+		if err != nil {
+			return errno(err)
+		}
+		return int64(n)
+	})
+	s.Register(SysPwrite64, "pwrite64", func(a [6]uint64) int64 {
+		if a[1] >= uint64(len(fb.Bytes)) {
+			return -EINVAL
+		}
+		n, err := fb.VFS.PWrite(int(a[0]), fb.Bytes[a[1]], int64(a[3]))
+		if err != nil {
+			return errno(err)
+		}
+		return int64(n)
+	})
+	s.Register(SysLseek, "lseek", func(a [6]uint64) int64 {
+		off, err := fb.VFS.Seek(int(a[0]), int64(a[1]), int(a[2]))
+		if err != nil {
+			return errno(err)
+		}
+		return off
+	})
+	s.Register(SysStat, "stat", func(a [6]uint64) int64 {
+		if a[0] >= uint64(len(fb.Strings)) {
+			return -EINVAL
+		}
+		st, err := fb.VFS.StatPath(fb.Strings[a[0]])
+		if err != nil {
+			return errno(err)
+		}
+		return st.Size
+	})
+	s.Register(SysFstat, "fstat", func(a [6]uint64) int64 {
+		st, err := fb.VFS.StatFD(int(a[0]))
+		if err != nil {
+			return errno(err)
+		}
+		return st.Size
+	})
+	s.Register(SysMkdir, "mkdir", func(a [6]uint64) int64 {
+		if a[0] >= uint64(len(fb.Strings)) {
+			return -EINVAL
+		}
+		return errno(fb.VFS.Mkdir(fb.Strings[a[0]]))
+	})
+	s.Register(SysUnlink, "unlink", func(a [6]uint64) int64 {
+		if a[0] >= uint64(len(fb.Strings)) {
+			return -EINVAL
+		}
+		return errno(fb.VFS.Unlink(fb.Strings[a[0]]))
+	})
+}
+
+// RegisterProcessSyscalls installs trivial process/identity syscalls.
+func RegisterProcessSyscalls(s *Shim) {
+	s.Register(SysGetpid, "getpid", func([6]uint64) int64 { return 1 }) // single process
+	s.Register(SysUname, "uname", func([6]uint64) int64 { return 0 })
+	s.Register(SysGetcwd, "getcwd", func([6]uint64) int64 { return 0 })
+	s.Register(SysExit, "exit", func([6]uint64) int64 { return 0 })
+	s.Register(SysBrk, "brk", func(a [6]uint64) int64 { return int64(a[0]) })
+	s.Register(SysMmap, "mmap", func(a [6]uint64) int64 { return int64(a[0]) })
+}
+
+// RegisterTimeSyscalls installs clock syscalls against the machine
+// clock.
+func RegisterTimeSyscalls(s *Shim) {
+	s.Register(SysClockGettime, "clock_gettime", func([6]uint64) int64 {
+		return int64(s.machine.CPU.Now())
+	})
+	s.Register(SysGettimeofday, "gettimeofday", func([6]uint64) int64 {
+		return int64(s.machine.CPU.Now().Microseconds())
+	})
+	s.Register(SysNanosleep, "nanosleep", func(a [6]uint64) int64 {
+		s.machine.CPU.Advance(s.machine.CPU.ToCycles(time.Duration(a[0])))
+		return 0
+	})
+}

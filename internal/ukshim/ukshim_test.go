@@ -1,0 +1,123 @@
+package ukshim
+
+import (
+	"testing"
+
+	"unikraft/internal/ramfs"
+	"unikraft/internal/sim"
+	"unikraft/internal/vfscore"
+)
+
+func newShim(mode Mode) (*Shim, *sim.Machine) {
+	m := sim.NewMachine()
+	return New(m, mode), m
+}
+
+func TestTable1Costs(t *testing.T) {
+	// The whole Table 1 story: per-mode invocation costs.
+	cases := []struct {
+		mode Mode
+		want uint64
+	}{
+		{ModeFunctionCall, 4},
+		{ModeUnikraftTrap, 84},
+		{ModeLinuxTrap, 222},
+		{ModeLinuxTrapNoMitig, 154},
+	}
+	for _, c := range cases {
+		sh, m := newShim(c.mode)
+		sh.Register(SysGetpid, "getpid", func([6]uint64) int64 { return 1 })
+		before := m.CPU.Cycles()
+		if got := sh.Invoke(SysGetpid, [6]uint64{}); got != 1 {
+			t.Fatalf("getpid = %d", got)
+		}
+		if got := m.CPU.Cycles() - before; got != c.want {
+			t.Errorf("mode %d cost = %d, want %d", c.mode, got, c.want)
+		}
+	}
+}
+
+func TestENOSYSStubbing(t *testing.T) {
+	sh, _ := newShim(ModeUnikraftTrap)
+	if got := sh.Invoke(999, [6]uint64{}); got != -ENOSYS {
+		t.Fatalf("unregistered syscall = %d, want -ENOSYS", got)
+	}
+	if sh.Stubbed != 1 || sh.Invocations != 1 {
+		t.Fatalf("counters = %d/%d", sh.Stubbed, sh.Invocations)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	sh, _ := newShim(ModeFunctionCall)
+	sh.Register(1, "write", func([6]uint64) int64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate registration")
+		}
+	}()
+	sh.Register(1, "write", func([6]uint64) int64 { return 0 })
+}
+
+func TestFileSyscallsOverVFS(t *testing.T) {
+	sh, m := newShim(ModeUnikraftTrap)
+	v := vfscore.New(m)
+	if err := v.Mount("/", ramfs.New()); err != nil {
+		t.Fatal(err)
+	}
+	fb := &FileBackend{VFS: v}
+	RegisterFileSyscalls(sh, fb)
+	RegisterProcessSyscalls(sh)
+	RegisterTimeSyscalls(sh)
+
+	if got := len(sh.Supported()); got < 15 {
+		t.Fatalf("registered = %d syscalls", got)
+	}
+
+	// open(O_CREAT|O_RDWR) -> write -> lseek -> read -> close: the whole
+	// file lifecycle through the syscall ABI.
+	path := fb.StageString("/data.txt")
+	fd := sh.Invoke(SysOpen, [6]uint64{path, uint64(vfscore.OCreate | vfscore.ORdWr)})
+	if fd < 3 {
+		t.Fatalf("open = %d", fd)
+	}
+	payload := fb.StageBytes([]byte("through the shim"))
+	if n := sh.Invoke(SysWrite, [6]uint64{uint64(fd), payload}); n != 16 {
+		t.Fatalf("write = %d", n)
+	}
+	if off := sh.Invoke(SysLseek, [6]uint64{uint64(fd), 0, vfscore.SeekSet}); off != 0 {
+		t.Fatalf("lseek = %d", off)
+	}
+	out := make([]byte, 32)
+	outIdx := fb.StageBytes(out)
+	n := sh.Invoke(SysRead, [6]uint64{uint64(fd), outIdx})
+	if n != 16 || string(out[:n]) != "through the shim" {
+		t.Fatalf("read = %d %q", n, out[:n])
+	}
+	if rc := sh.Invoke(SysClose, [6]uint64{uint64(fd)}); rc != 0 {
+		t.Fatalf("close = %d", rc)
+	}
+	// Errno paths.
+	missing := fb.StageString("/missing")
+	if rc := sh.Invoke(SysOpen, [6]uint64{missing, 0}); rc != -ENOENT {
+		t.Fatalf("open missing = %d, want -ENOENT", rc)
+	}
+	if rc := sh.Invoke(SysClose, [6]uint64{77}); rc != -EBADF {
+		t.Fatalf("close bad fd = %d, want -EBADF", rc)
+	}
+	if pid := sh.Invoke(SysGetpid, [6]uint64{}); pid != 1 {
+		t.Fatalf("getpid = %d", pid)
+	}
+}
+
+func TestSyscallCostsAccumulate(t *testing.T) {
+	sh, m := newShim(ModeLinuxTrap)
+	RegisterProcessSyscalls(sh)
+	before := m.CPU.Cycles()
+	const n = 100
+	for i := 0; i < n; i++ {
+		sh.Invoke(SysGetpid, [6]uint64{})
+	}
+	if got := m.CPU.Cycles() - before; got != n*222 {
+		t.Fatalf("100 linux syscalls = %d cycles, want %d", got, n*222)
+	}
+}

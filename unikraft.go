@@ -1,0 +1,228 @@
+// Package unikraft is the public API of the Unikraft reproduction: a
+// micro-library operating system construction kit (Kuenzer et al.,
+// EuroSys'21) over a deterministic full-system simulator.
+//
+// The typical pipeline mirrors the paper's workflow:
+//
+//	cat := unikraft.Catalog()                  // micro-library catalog
+//	img, _ := unikraft.BuildApp("nginx", "kvm",
+//	    unikraft.BuildOptions{DCE: true, LTO: true})
+//	vm, _ := unikraft.BootApp("nginx", unikraft.BootOptions{})
+//	defer vm.Close()
+//	fmt.Println(img.Bytes, vm.Report.Total())
+//
+// Everything the paper's evaluation measures is regenerable through
+// RunExperiment / Experiments; see EXPERIMENTS.md for paper-vs-measured.
+package unikraft
+
+import (
+	"fmt"
+	"time"
+
+	_ "unikraft/internal/allocators/bootalloc"
+	_ "unikraft/internal/allocators/buddy"
+	_ "unikraft/internal/allocators/mimalloc"
+	_ "unikraft/internal/allocators/tinyalloc"
+	_ "unikraft/internal/allocators/tlsf"
+	"unikraft/internal/core"
+	"unikraft/internal/experiments"
+	"unikraft/internal/sim"
+	"unikraft/internal/ukalloc"
+	"unikraft/internal/ukboot"
+	"unikraft/internal/ukbuild"
+	"unikraft/internal/ukplat"
+)
+
+// BuildOptions are the link-time switches from the paper's Fig 8 sweep.
+type BuildOptions = ukbuild.Options
+
+// Image is a linked unikernel image.
+type Image = ukbuild.Image
+
+// VM is a booted unikernel instance.
+type VM = ukboot.VM
+
+// BootReport is the timing breakdown of a boot.
+type BootReport = ukboot.Report
+
+// ExperimentResult is a regenerated table/figure.
+type ExperimentResult = experiments.Result
+
+// Platform names accepted by BuildApp/BootApp.
+const (
+	PlatformKVM    = "kvm"
+	PlatformXen    = "xen"
+	PlatformLinuxU = "linuxu"
+)
+
+// Allocator backend names (the five ukalloc backends of §3.2/§5.5).
+var Allocators = []string{"buddy", "tlsf", "tinyalloc", "mimalloc", "bootalloc"}
+
+// Apps lists the canonical application profiles (helloworld, nginx,
+// redis, sqlite, webcache, udpkv).
+func Apps() []string {
+	var out []string
+	for _, a := range core.Apps() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// Catalog returns the calibrated micro-library catalog.
+func Catalog() *core.Catalog { return core.DefaultCatalog() }
+
+// BuildApp resolves and links an application image for a platform.
+func BuildApp(app, platform string, opts BuildOptions) (*Image, error) {
+	profile, ok := core.AppByName(app)
+	if !ok {
+		return nil, fmt.Errorf("unikraft: unknown app %q (have %v)", app, Apps())
+	}
+	return ukbuild.Build(core.DefaultCatalog(), profile, platform, opts)
+}
+
+// BootOptions parameterize BootApp.
+type BootOptions struct {
+	// VMM selects the monitor: "qemu" (default), "qemu-microvm",
+	// "firecracker", "solo5-hvt", "xl".
+	VMM string
+	// MemBytes is guest memory (default 64 MiB).
+	MemBytes int
+	// Allocator overrides the app profile's ukalloc backend.
+	Allocator string
+	// DynamicPageTable selects §6.1's dynamic paging (default static).
+	DynamicPageTable bool
+	// Mount9pfs adds the virtio-9p mount step.
+	Mount9pfs bool
+}
+
+// BootApp builds and boots an application image, returning the VM with
+// its timing report. The caller must Close the VM.
+func BootApp(app string, opts BootOptions) (*VM, error) {
+	profile, ok := core.AppByName(app)
+	if !ok {
+		return nil, fmt.Errorf("unikraft: unknown app %q (have %v)", app, Apps())
+	}
+	platform := ukplat.KVMQemu
+	if opts.VMM != "" {
+		p, found := ukplat.ByVMM(opts.VMM)
+		if !found {
+			return nil, fmt.Errorf("unikraft: unknown VMM %q", opts.VMM)
+		}
+		platform = p
+	}
+	img, err := ukbuild.Build(core.DefaultCatalog(), profile, platform.Name, BuildOptions{DCE: true, LTO: true})
+	if err != nil {
+		return nil, err
+	}
+	mem := opts.MemBytes
+	if mem == 0 {
+		mem = 64 << 20
+	}
+	alloc := opts.Allocator
+	if alloc == "" {
+		alloc = backendOf(profile.Allocator)
+	}
+	pt := ukboot.PTStatic
+	if opts.DynamicPageTable {
+		pt = ukboot.PTDynamic
+	}
+	cfg := ukboot.Config{
+		Platform:   platform,
+		MemBytes:   mem,
+		ImageBytes: img.Bytes,
+		PTMode:     pt,
+		Allocator:  alloc,
+		NICs:       profile.NICs,
+		Mount9pfs:  opts.Mount9pfs,
+	}
+	if profile.NICs > 0 {
+		cfg.Libs = append(cfg.Libs, "lwip")
+	}
+	cfg.Libs = append(cfg.Libs, "vfscore", "ramfs")
+	if profile.Scheduler != "" {
+		cfg.Libs = append(cfg.Libs, "uksched")
+	}
+	return ukboot.Boot(sim.NewMachine(), cfg)
+}
+
+// backendOf maps catalog provider names to ukalloc backend names.
+func backendOf(provider string) string {
+	switch provider {
+	case "ukallocbuddy":
+		return "buddy"
+	case "ukalloctlsf":
+		return "tlsf"
+	case "ukalloctiny":
+		return "tinyalloc"
+	case "ukallocmim":
+		return "mimalloc"
+	case "ukallocboot":
+		return "bootalloc"
+	}
+	return "tlsf"
+}
+
+// NewAllocator builds and initializes a named ukalloc backend over a
+// fresh heap (for library users who want just an allocator).
+func NewAllocator(name string, heapBytes int) (ukalloc.Allocator, error) {
+	a, err := ukalloc.NewBackend(name, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Init(make([]byte, heapBytes)); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Experiments lists the regenerable tables/figures.
+func Experiments() []string { return experiments.IDs() }
+
+// ExperimentTitle returns an experiment's display title.
+func ExperimentTitle(id string) string { return experiments.Title(id) }
+
+// RunExperiment regenerates one table/figure by ID ("fig12", "tab1"...).
+func RunExperiment(id string) (*ExperimentResult, error) {
+	return experiments.Run(id)
+}
+
+// MinMemory probes the minimum guest memory for an app (Fig 11).
+func MinMemory(app string) (int, error) {
+	profile, ok := core.AppByName(app)
+	if !ok {
+		return 0, fmt.Errorf("unikraft: unknown app %q", app)
+	}
+	img, err := ukbuild.Build(core.DefaultCatalog(), profile, "kvm", BuildOptions{})
+	if err != nil {
+		return 0, err
+	}
+	floors := map[string]int{"helloworld": 256 << 10, "nginx": 2 << 20, "redis": 4 << 20, "sqlite": 1 << 20}
+	floor := floors[app]
+	if floor == 0 {
+		floor = 1 << 20
+	}
+	return ukboot.MinMemory(ukboot.Config{
+		Platform:   ukplat.KVMQemu,
+		ImageBytes: img.Bytes,
+		PTMode:     ukboot.PTStatic,
+		Allocator:  "tlsf",
+	}, floor)
+}
+
+// Version is the library version string.
+const Version = "1.0.0"
+
+// DefaultCPUHz is the simulated clock rate (the paper's i7-9700K).
+const DefaultCPUHz = sim.DefaultHz
+
+// FormatBootReport renders a boot report breakdown.
+func FormatBootReport(r BootReport) string {
+	out := fmt.Sprintf("vmm %v + guest %v = total %v\n", r.VMM, r.Guest, r.Total())
+	for _, s := range r.Steps {
+		out += fmt.Sprintf("  %-16s %10v\n", s.Name, s.Duration)
+	}
+	return out
+}
+
+// Since is a tiny helper for examples measuring virtual durations.
+func Since(d time.Duration) string { return d.String() }
