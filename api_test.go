@@ -1,0 +1,285 @@
+package unikraft
+
+// Tests for the Spec/Runtime SDK: validation errors, functional options,
+// zero-value defaults, deprecated-wrapper equivalence, and end-to-end
+// build+boot of an app registered at run time.
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestSpecOptions(t *testing.T) {
+	s := NewSpec("nginx",
+		WithVMM("firecracker"),
+		WithAllocator("tlsf"),
+		WithMemory(128<<20),
+		WithDCE(), WithLTO(),
+		WithDynamicPageTable(),
+		With9pfs(),
+		WithExtraLibs("shfs"))
+	if s.App != "nginx" || s.VMM != "firecracker" || s.Allocator != "tlsf" ||
+		s.MemBytes != 128<<20 || !s.DCE || !s.LTO ||
+		!s.DynamicPageTable || !s.Mount9pfs ||
+		len(s.ExtraLibs) != 1 || s.ExtraLibs[0] != "shfs" {
+		t.Errorf("options not applied: %+v", s)
+	}
+	if got := NewSpec("redis", WithPlatform(PlatformXen)).Platform; got != "xen" {
+		t.Errorf("WithPlatform = %q", got)
+	}
+	if s := NewSpec("redis", WithBuildFlags(true, false)); !s.DCE || s.LTO {
+		t.Errorf("WithBuildFlags = %+v", s)
+	}
+}
+
+func TestSpecWithDoesNotMutate(t *testing.T) {
+	base := NewSpec("nginx", WithExtraLibs("shfs"))
+	derived := base.With(WithExtraLibs("uklock"), WithAllocator("buddy"))
+	if len(base.ExtraLibs) != 1 || base.Allocator != "" {
+		t.Errorf("With mutated the base spec: %+v", base)
+	}
+	if len(derived.ExtraLibs) != 2 || derived.Allocator != "buddy" {
+		t.Errorf("derived spec wrong: %+v", derived)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	rt := NewRuntime()
+	cases := []struct {
+		spec Spec
+		want string // substring of the error
+	}{
+		{NewSpec(""), "no app"},
+		{NewSpec("notepad"), `unknown app "notepad"`},
+		{NewSpec("nginx", WithVMM("vmware")), `unknown VMM "vmware"`},
+		{NewSpec("nginx", WithPlatform("hyperv")), `unknown platform "hyperv"`},
+		{NewSpec("nginx", WithPlatform("xen"), WithVMM("qemu")), `runs on platform "kvm", not "xen"`},
+		{NewSpec("nginx", WithAllocator("jemalloc")), `unknown allocator "jemalloc"`},
+		{NewSpec("nginx", WithMemory(-1)), "memory must not be negative"},
+		{NewSpec("nginx", WithExtraLibs("shsf")), `unknown extra library "shsf"`},
+	}
+	for _, c := range cases {
+		err := rt.Validate(c.spec)
+		if err == nil {
+			t.Errorf("Validate(%v) accepted", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%v) = %q, want substring %q", c.spec, err, c.want)
+		}
+	}
+	// A fully defaulted spec for every registered app validates.
+	for _, app := range rt.Apps() {
+		if err := rt.Validate(NewSpec(app)); err != nil {
+			t.Errorf("Validate(%s) = %v", app, err)
+		}
+	}
+	// Catalog libraries and bare boot-step names are both valid extras.
+	if err := rt.Validate(NewSpec("nginx", WithExtraLibs("shfs", "pthreads"))); err != nil {
+		t.Errorf("valid extra libs rejected: %v", err)
+	}
+}
+
+func TestZeroValueDefaults(t *testing.T) {
+	rt := NewRuntime()
+	inst, err := rt.Run(NewSpec("helloworld"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	vm := inst.VM
+	if vm.Platform.Name != "kvm" || vm.Platform.VMM != "qemu" {
+		t.Errorf("default platform = %s/%s, want kvm/qemu", vm.Platform.Name, vm.Platform.VMM)
+	}
+	if vm.Config.MemBytes != 64<<20 {
+		t.Errorf("default memory = %d, want 64MiB", vm.Config.MemBytes)
+	}
+	// helloworld's profile allocator is ukallocbuddy -> buddy heap.
+	if vm.Heap.Name() != "buddy" {
+		t.Errorf("default heap = %s, want the profile's buddy", vm.Heap.Name())
+	}
+	if inst.Image.Platform != "kvm" {
+		t.Errorf("image platform = %s", inst.Image.Platform)
+	}
+}
+
+func TestAllocatorOverrideReachesImageAndHeap(t *testing.T) {
+	rt := NewRuntime()
+	inst, err := rt.Run(NewSpec("nginx", WithAllocator("mimalloc"), WithMemory(128<<20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if inst.VM.Heap.Name() != "mimalloc" {
+		t.Errorf("heap = %s, want mimalloc", inst.VM.Heap.Name())
+	}
+	found := false
+	for _, lib := range inst.Image.Libs {
+		if lib == "ukallocmim" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("image libs %v missing ukallocmim provider", inst.Image.Libs)
+	}
+}
+
+func TestDeprecatedWrappersMatchRuntime(t *testing.T) {
+	rt := NewRuntime()
+	old, err := BuildApp("nginx", "kvm", BuildOptions{DCE: true, LTO: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := NewSpec("nginx", WithPlatform(PlatformKVM), WithDCE(), WithLTO())
+	img, err := rt.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Bytes != img.Bytes || len(old.Libs) != len(img.Libs) {
+		t.Errorf("BuildApp %d bytes / %d libs, Runtime.Build %d / %d",
+			old.Bytes, len(old.Libs), img.Bytes, len(img.Libs))
+	}
+
+	vm, err := BootApp("helloworld", BootOptions{VMM: "firecracker", MemBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vm.Close()
+	if vm.Platform.VMM != "firecracker" || vm.Config.MemBytes != 8<<20 {
+		t.Errorf("BootApp config = %s/%d", vm.Platform.VMM, vm.Config.MemBytes)
+	}
+
+	if _, err := BuildApp("notepad", "kvm", BuildOptions{}); err == nil {
+		t.Error("BuildApp accepted unknown app")
+	}
+	if _, err := BootApp("nginx", BootOptions{VMM: "vmware"}); err == nil {
+		t.Error("BootApp accepted unknown VMM")
+	}
+}
+
+// register tolerates "already registered" so tests stay idempotent
+// under -count=N (the registry is process-global).
+func register(t *testing.T, err error) {
+	t.Helper()
+	if err != nil && !strings.Contains(err.Error(), "already registered") {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisteredAppBuildsAndBoots(t *testing.T) {
+	register(t, RegisterLibrary("app-apitest", LibraryConfig{
+		UsedBytes: 24 << 10, UnusedBytes: 8 << 10, App: true,
+		Needs: []string{"libc", "ukalloc"},
+		Deps:  []string{"ukboot"},
+	}))
+	register(t, RegisterApp(AppProfile{Name: "apitest", Lib: "app-apitest"}))
+	rt := NewRuntime()
+	found := false
+	for _, a := range rt.Apps() {
+		if a == "apitest" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered app missing from Apps(): %v", rt.Apps())
+	}
+	inst, err := rt.Run(NewSpec("apitest",
+		WithDCE(), WithLTO(), WithMemory(8<<20), WithAllocator("tinyalloc")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if inst.Image.PerLib["app-apitest"] != 24<<10 {
+		t.Errorf("app library contributes %d bytes, want the 24KB used set", inst.Image.PerLib["app-apitest"])
+	}
+	full, err := rt.Build(NewSpec("apitest", WithAllocator("tinyalloc")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Bytes <= inst.Image.Bytes {
+		t.Errorf("default link %d bytes not larger than DCE+LTO %d (unused 8KB not stripped)",
+			full.Bytes, inst.Image.Bytes)
+	}
+	if inst.VM.Heap.Name() != "tinyalloc" {
+		t.Errorf("custom app heap = %s", inst.VM.Heap.Name())
+	}
+	if inst.VM.Report.Total() <= 0 {
+		t.Error("no boot time recorded")
+	}
+}
+
+func TestProfileBackendNameNormalized(t *testing.T) {
+	// A profile may name its allocator by backend ("mimalloc") instead
+	// of provider ("ukallocmim"); builds must normalize it so Validate
+	// and Build agree.
+	register(t, RegisterLibrary("app-backendname", LibraryConfig{
+		UsedBytes: 4 << 10, App: true, Deps: []string{"ukboot"},
+	}))
+	register(t, RegisterApp(AppProfile{
+		Name: "backendname", Lib: "app-backendname", Allocator: "mimalloc",
+	}))
+	rt := NewRuntime()
+	if err := rt.Validate(NewSpec("backendname")); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	img, err := rt.Build(NewSpec("backendname"))
+	if err != nil {
+		t.Fatalf("Build after clean Validate: %v", err)
+	}
+	found := false
+	for _, lib := range img.Libs {
+		if lib == "ukallocmim" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("image libs %v missing normalized ukallocmim provider", img.Libs)
+	}
+}
+
+func TestAppsSortedAndStable(t *testing.T) {
+	names := Apps()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Apps() not sorted: %v", names)
+	}
+	again := Apps()
+	if strings.Join(names, ",") != strings.Join(again, ",") {
+		t.Errorf("Apps() unstable: %v vs %v", names, again)
+	}
+	if allocs := Allocators(); !sort.StringsAreSorted(allocs) {
+		t.Errorf("Allocators() not sorted: %v", allocs)
+	}
+}
+
+func TestRuntimeExperiments(t *testing.T) {
+	rt := NewRuntime()
+	ids := rt.Experiments()
+	if len(ids) == 0 || !sort.StringsAreSorted(ids) {
+		t.Fatalf("Experiments() = %v", ids)
+	}
+	res, err := rt.RunExperiment("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "fig3" || len(res.Rows) == 0 {
+		t.Errorf("fig3 result: %+v", res)
+	}
+	if _, err := rt.RunExperiment("fig99"); err == nil {
+		t.Error("unknown experiment ran")
+	}
+}
+
+func TestMinMemorySpec(t *testing.T) {
+	rt := NewRuntime()
+	min, err := rt.MinMemory(NewSpec("helloworld", WithAllocator("tlsf")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min < 1<<20 || min > 8<<20 {
+		t.Errorf("helloworld min memory = %dMB, want the paper's ~2MB regime", min>>20)
+	}
+	if _, err := rt.MinMemory(NewSpec("notepad")); err == nil {
+		t.Error("MinMemory accepted unknown app")
+	}
+}

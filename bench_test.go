@@ -17,10 +17,11 @@ import (
 // runExperiment executes one experiment per benchmark iteration.
 func runExperiment(b *testing.B, id string) *experiments.Result {
 	b.Helper()
+	env := experiments.DefaultEnv()
 	var res *experiments.Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = experiments.Run(id)
+		res, err = experiments.Run(env, id)
 		if err != nil {
 			b.Fatal(err)
 		}

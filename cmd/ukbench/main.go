@@ -1,8 +1,9 @@
-// Command ukbench regenerates the paper's tables and figures.
+// Command ukbench regenerates the paper's tables and figures against a
+// Runtime.
 //
 //	ukbench -list            enumerate experiments
 //	ukbench fig12 tab4 ...   run selected experiments
-//	ukbench -all             run everything (several minutes)
+//	ukbench -all             run everything concurrently (several minutes)
 package main
 
 import (
@@ -10,30 +11,41 @@ import (
 	"fmt"
 	"os"
 
-	"unikraft/internal/experiments"
+	"unikraft"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs")
-	all := flag.Bool("all", false, "run every experiment")
+	all := flag.Bool("all", false, "run every experiment (concurrently)")
 	flag.Parse()
 
+	rt := unikraft.NewRuntime()
 	if *list {
-		for _, id := range experiments.IDs() {
-			fmt.Printf("%-7s %s\n", id, experiments.Title(id))
+		for _, id := range rt.Experiments() {
+			fmt.Printf("%-7s %s\n", id, rt.ExperimentTitle(id))
+		}
+		return
+	}
+	if *all {
+		results, err := rt.RunAllExperiments()
+		for _, res := range results {
+			if res != nil {
+				fmt.Println(res.Render())
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ukbench:", err)
+			os.Exit(1)
 		}
 		return
 	}
 	ids := flag.Args()
-	if *all {
-		ids = experiments.IDs()
-	}
 	if len(ids) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: ukbench [-list|-all] [experiment-id...]")
 		os.Exit(2)
 	}
 	for _, id := range ids {
-		res, err := experiments.Run(id)
+		res, err := rt.RunExperiment(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ukbench: %s: %v\n", id, err)
 			os.Exit(1)

@@ -1,8 +1,9 @@
 // Command ukbuild builds unikernel images from the micro-library
-// catalog, the CLI face of the paper's Kconfig+make pipeline.
+// catalog, the CLI face of the paper's Kconfig+make pipeline. Flags map
+// onto Spec options; validation errors name the valid choices.
 //
 //	ukbuild -app nginx -plat kvm -dce -lto
-//	ukbuild -app redis -alloc ukallocmim -v
+//	ukbuild -app redis -alloc mimalloc -v
 package main
 
 import (
@@ -11,32 +12,31 @@ import (
 	"os"
 	"sort"
 
-	"unikraft/internal/core"
+	"unikraft"
 	"unikraft/internal/ukbuild"
 )
 
 func main() {
 	appName := flag.String("app", "helloworld", "application profile")
-	plat := flag.String("plat", "kvm", "platform: kvm, xen, linuxu")
+	plat := flag.String("plat", "kvm", "platform: kvm, xen, solo5, linuxu")
 	dce := flag.Bool("dce", false, "dead code elimination")
 	lto := flag.Bool("lto", false, "link-time optimization")
-	alloc := flag.String("alloc", "", "override ukalloc provider")
+	alloc := flag.String("alloc", "", "override ukalloc backend/provider")
 	verbose := flag.Bool("v", false, "per-library size breakdown")
 	flag.Parse()
 
-	app, ok := core.AppByName(*appName)
-	if !ok {
-		var names []string
-		for _, a := range core.Apps() {
-			names = append(names, a.Name)
-		}
-		fmt.Fprintf(os.Stderr, "ukbuild: unknown app %q (have %v)\n", *appName, names)
+	rt := unikraft.NewRuntime()
+	spec := unikraft.NewSpec(*appName,
+		unikraft.WithPlatform(*plat),
+		unikraft.WithBuildFlags(*dce, *lto))
+	if *alloc != "" {
+		spec = spec.With(unikraft.WithAllocator(*alloc))
+	}
+	if err := rt.Validate(spec); err != nil {
+		fmt.Fprintln(os.Stderr, "ukbuild:", err)
 		os.Exit(2)
 	}
-	if *alloc != "" {
-		app.Allocator = *alloc
-	}
-	img, err := ukbuild.Build(core.DefaultCatalog(), app, *plat, ukbuild.Options{DCE: *dce, LTO: *lto})
+	img, err := rt.Build(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ukbuild:", err)
 		os.Exit(1)

@@ -1,4 +1,5 @@
-// Command ukdeps exports and compares dependency graphs (Figures 1-3).
+// Command ukdeps exports and compares dependency graphs (Figures 1-3),
+// resolving image closures through the Runtime SDK.
 //
 //	ukdeps -linux            DOT of the Linux kernel component graph
 //	ukdeps -app nginx        DOT of an image's micro-library graph
@@ -10,27 +11,12 @@ import (
 	"fmt"
 	"os"
 
-	"unikraft/internal/core"
+	"unikraft"
 	"unikraft/internal/depgraph"
 )
 
-func imageGraph(appName string) (*depgraph.Graph, error) {
-	cat := core.DefaultCatalog()
-	app, ok := core.AppByName(appName)
-	if !ok {
-		return nil, fmt.Errorf("unknown app %q", appName)
-	}
-	providers := map[string]string{
-		"libc": app.Libc, "ukalloc": app.Allocator, "plat": "plat-kvm",
-	}
-	if app.Scheduler != "" {
-		providers["uksched"] = app.Scheduler
-	}
-	if app.NICs > 0 {
-		providers["netstack"] = "lwip"
-		providers["netdev"] = "uknetdev"
-	}
-	closure, err := cat.Closure([]string{app.Lib}, providers)
+func imageGraph(rt *unikraft.Runtime, appName string) (*depgraph.Graph, error) {
+	closure, providers, err := rt.Closure(unikraft.NewSpec(appName))
 	if err != nil {
 		return nil, err
 	}
@@ -43,18 +29,19 @@ func main() {
 	compare := flag.String("compare", "", "compare an image graph against Linux")
 	flag.Parse()
 
+	rt := unikraft.NewRuntime()
 	switch {
 	case *linux:
 		fmt.Print(depgraph.LinuxKernelGraph().DOT())
 	case *app != "":
-		g, err := imageGraph(*app)
+		g, err := imageGraph(rt, *app)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ukdeps:", err)
 			os.Exit(1)
 		}
 		fmt.Print(g.DOT())
 	case *compare != "":
-		g, err := imageGraph(*compare)
+		g, err := imageGraph(rt, *compare)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ukdeps:", err)
 			os.Exit(1)

@@ -1,5 +1,5 @@
 // Command uksyscalls runs the application-compatibility analysis
-// (Figures 5 and 7).
+// (Figures 5 and 7) via the Runtime SDK.
 //
 //	uksyscalls -heatmap      the Fig 5 text heatmap
 //	uksyscalls -apps         per-app support progression (Fig 7)
@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 
+	"unikraft"
 	"unikraft/internal/syscalls"
 )
 
@@ -19,7 +20,7 @@ func main() {
 	missing := flag.Int("missing", 0, "show top-N missing syscalls")
 	flag.Parse()
 
-	a := syscalls.Analyze(syscalls.Top30Apps(), syscalls.SupportedNumbers)
+	a := unikraft.NewRuntime().SyscallAnalysis()
 	did := false
 	if *heatmap {
 		did = true

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 
+	"unikraft"
 	"unikraft/internal/apps/udpkv"
 	"unikraft/internal/netstack"
 	"unikraft/internal/sim"
@@ -89,6 +90,20 @@ func rawPath() (float64, error) {
 }
 
 func main() {
+	// The image half of the story: the specialized udpkv profile links
+	// directly against uknetdev, while the general nginx profile carries
+	// the whole socket + netstack stack.
+	rt := unikraft.NewRuntime()
+	for _, app := range []string{"udpkv", "nginx"} {
+		img, err := rt.Build(unikraft.NewSpec(app, unikraft.WithDCE(), unikraft.WithLTO()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %7.1fKB (%d micro-libraries)\n",
+			app+" image:", float64(img.Bytes)/1024, len(img.Libs))
+	}
+	fmt.Println()
+
 	sock, err := socketPath()
 	if err != nil {
 		log.Fatal(err)

@@ -9,8 +9,7 @@ import (
 	"fmt"
 	"log"
 
-	_ "unikraft/internal/allocators/mimalloc"
-	_ "unikraft/internal/allocators/tinyalloc"
+	"unikraft"
 	"unikraft/internal/apps/sqldb"
 	"unikraft/internal/sim"
 	"unikraft/internal/ukalloc"
@@ -18,11 +17,8 @@ import (
 
 func insertRun(allocName string, rows int) (float64, error) {
 	m := sim.NewMachine()
-	a, err := ukalloc.NewBackend(allocName, m)
+	a, err := ukalloc.NewInitialized(allocName, m, 128<<20)
 	if err != nil {
-		return 0, err
-	}
-	if err := a.Init(make([]byte, 128<<20)); err != nil {
 		return 0, err
 	}
 	db := sqldb.New(a)
@@ -47,7 +43,23 @@ func insertRun(allocName string, rows int) (float64, error) {
 }
 
 func main() {
-	fmt.Println("INSERT workload, virtual seconds on the 3.6GHz simulated core:")
+	// The sqlite profile, specialized two ways: the allocator is one
+	// spec option, and the image/boot cost of each choice falls out of
+	// the same pipeline that runs the workload.
+	rt := unikraft.NewRuntime()
+	for _, alloc := range []string{"tinyalloc", "mimalloc"} {
+		inst, err := rt.Run(unikraft.NewSpec("sqlite",
+			unikraft.WithAllocator(alloc),
+			unikraft.WithDCE(), unikraft.WithLTO()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sqlite_%-10s image=%7.1fKB guest-boot=%v\n",
+			alloc, float64(inst.Image.Bytes)/1024, inst.VM.Report.Guest)
+		inst.Close()
+	}
+
+	fmt.Println("\nINSERT workload, virtual seconds on the 3.6GHz simulated core:")
 	for _, rows := range []int{100, 5000, 20000} {
 		fmt.Printf("  %6d rows:", rows)
 		for _, alloc := range []string{"tinyalloc", "mimalloc"} {
@@ -62,9 +74,10 @@ func main() {
 	fmt.Println("(Fig 16 shape: tinyalloc ahead at small row counts, behind under load)")
 
 	// And a taste of the SQL surface.
-	m := sim.NewMachine()
-	a, _ := ukalloc.NewBackend("mimalloc", m)
-	a.Init(make([]byte, 16<<20))
+	a, err := unikraft.NewAllocator("mimalloc", 16<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
 	db := sqldb.New(a)
 	must := func(sql string) *sqldb.Result {
 		r, err := db.Exec(sql)

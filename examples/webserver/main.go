@@ -1,6 +1,6 @@
-// Webserver: run the nginx-analogue HTTP server on a simulated Unikraft
-// instance, drive it with a wrk-style load generator over the virtio
-// pair, and report throughput for two allocator choices — the Fig 13 /
+// Webserver: build and boot the nginx profile through the Runtime SDK
+// for two allocator choices, then drive the HTTP server analogue with a
+// wrk-style load generator over the virtio pair — the Fig 13 / Fig 14 /
 // Fig 15 scenario as a runnable program.
 package main
 
@@ -8,8 +8,7 @@ import (
 	"fmt"
 	"log"
 
-	_ "unikraft/internal/allocators/mimalloc"
-	_ "unikraft/internal/allocators/tinyalloc"
+	"unikraft"
 	"unikraft/internal/apps/httpd"
 	"unikraft/internal/netstack"
 	"unikraft/internal/sim"
@@ -26,11 +25,8 @@ func run(allocName string, requests int) (float64, error) {
 	client := netstack.New(clientM, clientDev, netstack.Config{Addr: netstack.IP(10, 0, 0, 1)})
 	server := netstack.New(serverM, serverDev, netstack.Config{Addr: netstack.IP(10, 0, 0, 2)})
 
-	alloc, err := ukalloc.NewBackend(allocName, serverM)
+	alloc, err := ukalloc.NewInitialized(allocName, serverM, 64<<20)
 	if err != nil {
-		return 0, err
-	}
-	if err := alloc.Init(make([]byte, 64<<20)); err != nil {
 		return 0, err
 	}
 	srv, err := httpd.New(server, alloc, 80, nil)
@@ -65,13 +61,25 @@ func run(allocName string, requests int) (float64, error) {
 
 func main() {
 	const requests = 3000
+	rt := unikraft.NewRuntime()
 	fmt.Println("HTTP server throughput, 30 keep-alive connections, 612B page:")
 	for _, alloc := range []string{"mimalloc", "tinyalloc"} {
+		// Boot the nginx image with this allocator to get the Fig 14
+		// boot-time side of the trade-off...
+		inst, err := rt.Run(unikraft.NewSpec("nginx",
+			unikraft.WithAllocator(alloc),
+			unikraft.WithDCE(), unikraft.WithLTO()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		boot := inst.VM.Report.Guest
+		inst.Close()
+		// ...then measure steady-state throughput (Fig 15's side).
 		rate, err := run(alloc, requests)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  allocator=%-10s %8.1fK req/s\n", alloc, rate/1e3)
+		fmt.Printf("  allocator=%-10s boot=%-12v %8.1fK req/s\n", alloc, boot, rate/1e3)
 	}
 	fmt.Println("(paper Fig 15: mimalloc 291.2K vs tinyalloc 217.1K — a ~25% gap)")
 }

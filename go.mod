@@ -1,0 +1,3 @@
+module unikraft
+
+go 1.24

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // This file builds the default Unikraft micro-library catalog with
 // symbol tables calibrated against the paper's image-size measurements.
@@ -105,14 +108,23 @@ var specs = map[string]libSpec{
 // symbolChunk is the granularity synthetic symbols are generated at.
 const symbolChunk = 2048
 
-// DefaultCatalog builds the calibrated catalog. Symbol tables are
-// synthesized deterministically: used symbols form a reference chain
-// rooted at the library's entry symbol, unused and comdat symbols are
-// unreferenced.
+// DefaultCatalog builds the calibrated catalog plus any libraries added
+// via RegisterLibrary. Symbol tables are synthesized deterministically:
+// used symbols form a reference chain rooted at the library's entry
+// symbol, unused and comdat symbols are unreferenced. Libraries are
+// added in sorted name order so catalogs are identical across runs.
 func DefaultCatalog() *Catalog {
 	c := NewCatalog()
-	for name, sp := range specs {
-		c.Add(buildLibrary(name, sp))
+	names := make([]string, 0, len(specs))
+	for name := range specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c.Add(buildLibrary(name, specs[name]))
+	}
+	for _, l := range registeredLibs() {
+		c.Add(buildLibrary(l.name, l.spec))
 	}
 	return c
 }
@@ -179,35 +191,12 @@ type AppProfile struct {
 	NICs      int
 }
 
-// Apps lists the canonical application profiles used across the
-// evaluation.
-func Apps() []AppProfile {
-	return []AppProfile{
-		{Name: "helloworld", Lib: "app-helloworld", Libc: "nolibc", Allocator: "ukallocbuddy"},
-		{Name: "nginx", Lib: "app-nginx", Libc: "musl", Allocator: "ukalloctlsf", Scheduler: "ukschedcoop", NICs: 1},
-		{Name: "redis", Lib: "app-redis", Libc: "musl", Allocator: "ukallocmim", Scheduler: "ukschedcoop", NICs: 1},
-		{Name: "sqlite", Lib: "app-sqlite", Libc: "musl", Allocator: "ukalloctlsf", Scheduler: "ukschedcoop"},
-		{Name: "webcache", Lib: "app-webcache", Libc: "nolibc", Allocator: "ukalloctlsf", NICs: 1},
-		{Name: "udpkv", Lib: "app-udpkv", Libc: "nolibc", Allocator: "ukallocboot", NICs: 1},
-	}
-}
-
-// AppByName returns the profile for name.
-func AppByName(name string) (AppProfile, bool) {
-	for _, a := range Apps() {
-		if a.Name == name {
-			return a, true
-		}
-	}
-	return AppProfile{}, false
-}
-
 // DefaultMenu builds the Kconfig menu for the catalog: a platform
 // choice, API provider choices, and per-feature bools.
 func DefaultMenu(c *Catalog) *Menu {
 	m := NewMenu()
 	m.Add(&Option{Name: "PLAT", Type: ChoiceOption, Default: "plat-kvm",
-		Choices: []string{"plat-kvm", "plat-xen", "plat-linuxu"},
+		Choices: []string{"plat-kvm", "plat-xen", "plat-solo5", "plat-linuxu"},
 		Help:    "target platform"})
 	m.Add(&Option{Name: "LIBC", Type: ChoiceOption, Default: "nolibc",
 		Choices: []string{"nolibc", "musl", "newlib"},

@@ -25,26 +25,14 @@ func init() {
 	register("tab4", "Specialized UDP key-value store", table4)
 }
 
-// newAlloc builds an initialized allocator on machine m.
-func newAlloc(name string, m *sim.Machine, heap int) (ukalloc.Allocator, error) {
-	a, err := ukalloc.NewBackend(name, m)
-	if err != nil {
-		return nil, err
-	}
-	if err := a.Init(make([]byte, heap)); err != nil {
-		return nil, err
-	}
-	return a, nil
-}
-
 // tcpWorld wires a client and a server stack over a virtio pair.
 type tcpWorld struct {
 	cm, sm         *sim.Machine
 	client, server *netstack.Stack
 }
 
-func newTCPWorld() (*tcpWorld, error) {
-	cm, sm := sim.NewMachine(), sim.NewMachine()
+func newTCPWorld(env *Env) (*tcpWorld, error) {
+	cm, sm := env.NewMachine(), env.NewMachine()
 	cd, sd, err := uknetdev.NewPair(cm, sm, uknetdev.VhostNet)
 	if err != nil {
 		return nil, err
@@ -59,12 +47,12 @@ func newTCPWorld() (*tcpWorld, error) {
 // redisRate measures the simulated Unikraft Redis server's sustainable
 // rate (requests/second of server-core time) for GET or SET with the
 // paper's parameters (30 connections, pipelining 16).
-func redisRate(alloc string, set bool, requests int) (float64, error) {
-	w, err := newTCPWorld()
+func redisRate(env *Env, alloc string, set bool, requests int) (float64, error) {
+	w, err := newTCPWorld(env)
 	if err != nil {
 		return 0, err
 	}
-	a, err := newAlloc(alloc, w.sm, 64<<20)
+	a, err := ukalloc.NewInitialized(alloc, w.sm, 64<<20)
 	if err != nil {
 		return 0, err
 	}
@@ -130,13 +118,13 @@ func redisRate(alloc string, set bool, requests int) (float64, error) {
 // overhead models.
 var redisShape = baselines.RequestShape{Syscalls: 2.0 / 16, Packets: 2.0 / 16, AllocCycles: 60}
 
-func fig12() (*Result, error) {
+func fig12(env *Env) (*Result, error) {
 	requests := 20000
-	get, err := redisRate("mimalloc", false, requests)
+	get, err := redisRate(env, "mimalloc", false, requests)
 	if err != nil {
 		return nil, err
 	}
-	set, err := redisRate("mimalloc", true, requests)
+	set, err := redisRate(env, "mimalloc", true, requests)
 	if err != nil {
 		return nil, err
 	}
@@ -144,7 +132,7 @@ func fig12() (*Result, error) {
 		ID: "fig12", Title: Title("fig12"),
 		Headers: []string{"system", "GET-req/s", "SET-req/s", "source"},
 	}
-	m := sim.NewMachine()
+	m := env.NewMachine()
 	appGet := float64(m.CPU.Hz) / get
 	appSet := float64(m.CPU.Hz) / set
 	for _, rt := range []baselines.Runtime{
@@ -171,12 +159,12 @@ func fig12() (*Result, error) {
 }
 
 // nginxRate measures the simulated Unikraft HTTP server.
-func nginxRate(alloc string, requests int) (float64, error) {
-	w, err := newTCPWorld()
+func nginxRate(env *Env, alloc string, requests int) (float64, error) {
+	w, err := newTCPWorld(env)
 	if err != nil {
 		return 0, err
 	}
-	a, err := newAlloc(alloc, w.sm, 64<<20)
+	a, err := ukalloc.NewInitialized(alloc, w.sm, 64<<20)
 	if err != nil {
 		return 0, err
 	}
@@ -222,8 +210,8 @@ func nginxRate(alloc string, requests int) (float64, error) {
 // (read+write via epoll batching), modest allocator traffic.
 var nginxShape = baselines.RequestShape{Syscalls: 2, Packets: 2, AllocCycles: 120}
 
-func fig13() (*Result, error) {
-	rate, err := nginxRate("tlsf", 6000)
+func fig13(env *Env) (*Result, error) {
+	rate, err := nginxRate(env, "tlsf", 6000)
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +219,7 @@ func fig13() (*Result, error) {
 		ID: "fig13", Title: Title("fig13"),
 		Headers: []string{"system", "req/s", "source"},
 	}
-	m := sim.NewMachine()
+	m := env.NewMachine()
 	appCycles := float64(m.CPU.Hz) / rate
 	for _, rt := range []baselines.Runtime{
 		baselines.LinuxFirecracker, baselines.LinuxKVMGuest,
@@ -251,13 +239,13 @@ func fig13() (*Result, error) {
 	return res, nil
 }
 
-func fig15() (*Result, error) {
+func fig15(env *Env) (*Result, error) {
 	res := &Result{
 		ID: "fig15", Title: Title("fig15"),
 		Headers: []string{"allocator", "req/s"},
 	}
 	for _, alloc := range []string{"mimalloc", "tlsf", "buddy", "tinyalloc"} {
-		rate, err := nginxRate(alloc, 4000)
+		rate, err := nginxRate(env, alloc, 4000)
 		if err != nil {
 			return nil, err
 		}
@@ -270,9 +258,9 @@ func fig15() (*Result, error) {
 // sqliteInsertCycles runs N inserts on a fresh DB with the given
 // allocator, returning total server cycles (including allocator init,
 // as the paper's end-to-end runs do).
-func sqliteInsertCycles(alloc string, inserts int) (uint64, error) {
-	m := sim.NewMachine()
-	a, err := newAlloc(alloc, m, 256<<20)
+func sqliteInsertCycles(env *Env, alloc string, inserts int) (uint64, error) {
+	m := env.NewMachine()
+	a, err := ukalloc.NewInitialized(alloc, m, 256<<20)
 	if err != nil {
 		return 0, err
 	}
@@ -298,20 +286,20 @@ func sqliteInsertCycles(alloc string, inserts int) (uint64, error) {
 	return m.CPU.Cycles(), nil
 }
 
-func fig16() (*Result, error) {
+func fig16(env *Env) (*Result, error) {
 	res := &Result{
 		ID: "fig16", Title: Title("fig16"),
 		Headers: []string{"queries", "buddy-%", "tinyalloc-%", "tlsf-%"},
 	}
 	counts := []int{10, 100, 1000, 10000, 60000}
 	for _, n := range counts {
-		base, err := sqliteInsertCycles("mimalloc", n)
+		base, err := sqliteInsertCycles(env, "mimalloc", n)
 		if err != nil {
 			return nil, err
 		}
 		row := []string{fmt.Sprintf("%d", n)}
 		for _, alloc := range []string{"buddy", "tinyalloc", "tlsf"} {
-			c, err := sqliteInsertCycles(alloc, n)
+			c, err := sqliteInsertCycles(env, alloc, n)
 			if err != nil {
 				return nil, err
 			}
@@ -326,13 +314,13 @@ func fig16() (*Result, error) {
 	return res, nil
 }
 
-func fig17() (*Result, error) {
+func fig17(env *Env) (*Result, error) {
 	const inserts = 60000
-	cycles, err := sqliteInsertCycles("tlsf", inserts)
+	cycles, err := sqliteInsertCycles(env, "tlsf", inserts)
 	if err != nil {
 		return nil, err
 	}
-	m := sim.NewMachine()
+	m := env.NewMachine()
 	muslNative := float64(cycles) / float64(m.CPU.Hz)
 	// newlib native: slightly slower libc paths (paper: 1.083 vs 1.065).
 	newlibNative := muslNative * 1.083 / 1.065
@@ -359,17 +347,17 @@ func fig17() (*Result, error) {
 	return res, nil
 }
 
-func fig18() (*Result, error) {
+func fig18(env *Env) (*Result, error) {
 	res := &Result{
 		ID: "fig18", Title: Title("fig18"),
 		Headers: []string{"allocator", "GET-req/s", "SET-req/s"},
 	}
 	for _, alloc := range []string{"mimalloc", "tlsf", "buddy", "tinyalloc"} {
-		get, err := redisRate(alloc, false, 8000)
+		get, err := redisRate(env, alloc, false, 8000)
 		if err != nil {
 			return nil, err
 		}
-		set, err := redisRate(alloc, true, 8000)
+		set, err := redisRate(env, alloc, true, 8000)
 		if err != nil {
 			return nil, err
 		}
@@ -379,8 +367,8 @@ func fig18() (*Result, error) {
 	return res, nil
 }
 
-func fig19() (*Result, error) {
-	m := sim.NewMachine()
+func fig19(env *Env) (*Result, error) {
+	m := env.NewMachine()
 	res := &Result{
 		ID: "fig19", Title: Title("fig19"),
 		Headers: []string{"pkt-bytes", "uk-vhost-user-Mp/s", "uk-vhost-net-Mp/s", "dpdk-vm-vhost-user-Mp/s", "dpdk-vm-vhost-net-Mp/s", "line-rate-Mp/s"},
@@ -413,7 +401,7 @@ func fig19() (*Result, error) {
 
 // table4 measures the two Unikraft datapaths and reports the published
 // Linux rows.
-func table4() (*Result, error) {
+func table4(env *Env) (*Result, error) {
 	res := &Result{
 		ID: "tab4", Title: Title("tab4"),
 		Headers: []string{"setup", "mode", "req/s", "source"},
@@ -423,7 +411,7 @@ func table4() (*Result, error) {
 	}
 
 	// --- Unikraft socket path (lwIP) --------------------------------------
-	cm, sm := sim.NewMachine(), sim.NewMachine()
+	cm, sm := env.NewMachine(), env.NewMachine()
 	cd, sd, err := uknetdev.NewPair(cm, sm, uknetdev.VhostUser)
 	if err != nil {
 		return nil, err
@@ -466,7 +454,7 @@ func table4() (*Result, error) {
 	res.Rows = append(res.Rows, []string{"unikraft-guest", "lwip-sockets", krps(sockRate), "measured"})
 
 	// --- Unikraft specialized path (raw uknetdev, polling) -----------------
-	cm2, sm2 := sim.NewMachine(), sim.NewMachine()
+	cm2, sm2 := env.NewMachine(), env.NewMachine()
 	cd2, sd2, err := uknetdev.NewPair(cm2, sm2, uknetdev.VhostUser)
 	if err != nil {
 		return nil, err

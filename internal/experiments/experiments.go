@@ -9,10 +9,36 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+
+	"unikraft/internal/core"
+	"unikraft/internal/sim"
 )
+
+// Env is the execution environment experiments run against: the
+// micro-library catalog builds resolve against and a factory for fresh
+// simulated machines. The public SDK threads its *Runtime through here,
+// so figures can be regenerated against custom catalogs or machine
+// models; each generator takes its machines from the Env instead of
+// reaching for package-level state, which is what makes RunAll safe to
+// parallelize.
+type Env struct {
+	// Catalog is the micro-library catalog (read-only during runs).
+	Catalog *core.Catalog
+	// NewMachine returns a fresh simulated machine.
+	NewMachine func() *sim.Machine
+}
+
+// DefaultEnv is the environment the paper's evaluation uses: the
+// calibrated default catalog and stock machines.
+func DefaultEnv() *Env {
+	return &Env{Catalog: core.DefaultCatalog(), NewMachine: sim.NewMachine}
+}
 
 // Result is one regenerated table/figure.
 type Result struct {
@@ -57,8 +83,8 @@ func (r *Result) Render() string {
 	return b.String()
 }
 
-// Generator produces one experiment result.
-type Generator func() (*Result, error)
+// Generator produces one experiment result against an environment.
+type Generator func(env *Env) (*Result, error)
 
 var registry = map[string]Generator{}
 var titles = map[string]string{}
@@ -86,26 +112,46 @@ func IDs() []string {
 // Title returns an experiment's display title.
 func Title(id string) string { return titles[id] }
 
-// Run executes one experiment by ID.
-func Run(id string) (*Result, error) {
+// Run executes one experiment by ID against env (nil means DefaultEnv).
+func Run(env *Env, id string) (*Result, error) {
 	g, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 	}
-	return g()
+	if env == nil {
+		env = DefaultEnv()
+	}
+	return g(env)
 }
 
-// RunAll executes every experiment in ID order.
-func RunAll() ([]*Result, error) {
-	var out []*Result
-	for _, id := range IDs() {
-		r, err := Run(id)
-		if err != nil {
-			return out, fmt.Errorf("%s: %w", id, err)
-		}
-		out = append(out, r)
+// RunAll executes every experiment concurrently (each on its own
+// simulated machines) and returns the results in ID order. Failed
+// experiments leave a nil slot and their errors are joined.
+func RunAll(env *Env) ([]*Result, error) {
+	if env == nil {
+		env = DefaultEnv()
 	}
-	return out, nil
+	ids := IDs()
+	results := make([]*Result, len(ids))
+	errs := make([]error, len(ids))
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := Run(env, id)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", id, err)
+				return
+			}
+			results[i] = r
+		}(i, id)
+	}
+	wg.Wait()
+	return results, errors.Join(errs...)
 }
 
 // helpers ------------------------------------------------------------------

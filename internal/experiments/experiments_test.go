@@ -44,7 +44,7 @@ func TestFastExperiments(t *testing.T) {
 	for _, id := range fast {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			res, err := Run(id)
+			res, err := Run(DefaultEnv(), id)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -64,7 +64,7 @@ func TestFastExperiments(t *testing.T) {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if _, err := Run("fig99"); err == nil {
+	if _, err := Run(DefaultEnv(), "fig99"); err == nil {
 		t.Fatal("unknown experiment ran")
 	}
 }
@@ -73,7 +73,7 @@ func TestUnknownExperiment(t *testing.T) {
 // specialization ordering: raw uknetdev >> socket path, and the raw path
 // lands in the paper's millions-per-second regime.
 func TestTable4Shape(t *testing.T) {
-	res, err := Run("tab4")
+	res, err := Run(DefaultEnv(), "tab4")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestFig12Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("throughput run")
 	}
-	res, err := Run("fig12")
+	res, err := Run(DefaultEnv(), "fig12")
 	if err != nil {
 		t.Fatal(err)
 	}

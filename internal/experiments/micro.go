@@ -47,8 +47,8 @@ func init() {
 
 // --- Table 1 ----------------------------------------------------------------
 
-func table1() (*Result, error) {
-	m := sim.NewMachine()
+func table1(env *Env) (*Result, error) {
+	m := env.NewMachine()
 	nsPerCycle := 1e9 / float64(m.CPU.Hz)
 	row := func(platform, routine string, mode ukshim.Mode) []string {
 		sh := ukshim.New(m, mode)
@@ -75,7 +75,7 @@ func table1() (*Result, error) {
 
 // --- Table 2 / Fig 6 ---------------------------------------------------------
 
-func table2() (*Result, error) {
+func table2(env *Env) (*Result, error) {
 	rows := porting.Table2()
 	stats := porting.AnalyzeTable2(rows)
 	res := &Result{
@@ -101,7 +101,7 @@ func table2() (*Result, error) {
 	return res, nil
 }
 
-func fig6() (*Result, error) {
+func fig6(env *Env) (*Result, error) {
 	qs := porting.Fig6Survey()
 	trend := porting.AnalyzeSurvey(qs)
 	res := &Result{
@@ -119,7 +119,7 @@ func fig6() (*Result, error) {
 
 // --- dependency graphs (Figs 1-3) ---------------------------------------------
 
-func fig1() (*Result, error) {
+func fig1(env *Env) (*Result, error) {
 	g := depgraph.LinuxKernelGraph()
 	res := &Result{
 		ID: "fig1", Title: Title("fig1"),
@@ -136,22 +136,13 @@ func fig1() (*Result, error) {
 	return res, nil
 }
 
-func imageGraph(appName string) (*depgraph.Graph, error) {
-	cat := core.DefaultCatalog()
+func imageGraph(env *Env, appName string) (*depgraph.Graph, error) {
+	cat := env.Catalog
 	app, ok := core.AppByName(appName)
 	if !ok {
 		return nil, fmt.Errorf("unknown app %s", appName)
 	}
-	providers := map[string]string{
-		"libc": app.Libc, "ukalloc": app.Allocator, "plat": "plat-kvm",
-	}
-	if app.Scheduler != "" {
-		providers["uksched"] = app.Scheduler
-	}
-	if app.NICs > 0 {
-		providers["netstack"] = "lwip"
-		providers["netdev"] = "uknetdev"
-	}
+	providers := ukbuild.Providers(app, "kvm")
 	closure, err := cat.Closure([]string{app.Lib}, providers)
 	if err != nil {
 		return nil, err
@@ -159,8 +150,8 @@ func imageGraph(appName string) (*depgraph.Graph, error) {
 	return depgraph.FromClosure(appName, closure, providers), nil
 }
 
-func graphResult(id, app string) (*Result, error) {
-	g, err := imageGraph(app)
+func graphResult(env *Env, id, app string) (*Result, error) {
+	g, err := imageGraph(env, app)
 	if err != nil {
 		return nil, err
 	}
@@ -191,12 +182,12 @@ func joinNames(xs []string) string {
 	return out
 }
 
-func fig2() (*Result, error) { return graphResult("fig2", "nginx") }
-func fig3() (*Result, error) { return graphResult("fig3", "helloworld") }
+func fig2(env *Env) (*Result, error) { return graphResult(env, "fig2", "nginx") }
+func fig3(env *Env) (*Result, error) { return graphResult(env, "fig3", "helloworld") }
 
 // --- syscall compatibility (Figs 5, 7) -----------------------------------------
 
-func fig5() (*Result, error) {
+func fig5(env *Env) (*Result, error) {
 	a := syscalls.Analyze(syscalls.Top30Apps(), syscalls.SupportedNumbers)
 	needed := 0
 	neededSupported := 0
@@ -225,7 +216,7 @@ func fig5() (*Result, error) {
 	return res, nil
 }
 
-func fig7() (*Result, error) {
+func fig7(env *Env) (*Result, error) {
 	a := syscalls.Analyze(syscalls.Top30Apps(), syscalls.SupportedNumbers)
 	res := &Result{
 		ID: "fig7", Title: Title("fig7"),
@@ -250,8 +241,8 @@ func fig7() (*Result, error) {
 
 // --- image sizes (Figs 8, 9) ----------------------------------------------------
 
-func fig8() (*Result, error) {
-	cat := core.DefaultCatalog()
+func fig8(env *Env) (*Result, error) {
+	cat := env.Catalog
 	res := &Result{
 		ID: "fig8", Title: Title("fig8"),
 		Headers: []string{"app", "default", "+lto", "+dce", "+dce+lto"},
@@ -273,8 +264,8 @@ func fig8() (*Result, error) {
 	return res, nil
 }
 
-func fig9() (*Result, error) {
-	cat := core.DefaultCatalog()
+func fig9(env *Env) (*Result, error) {
+	cat := env.Catalog
 	res := &Result{
 		ID: "fig9", Title: Title("fig9"),
 		Headers: []string{"system", "hello", "nginx", "redis", "sqlite", "source"},
@@ -308,8 +299,8 @@ func fig9() (*Result, error) {
 
 // --- boot (Figs 10, 11, 14, 21; txt1) --------------------------------------------
 
-func bootHello(p ukplat.Platform, nics int) (ukboot.Report, error) {
-	m := sim.NewMachine()
+func bootHello(env *Env, p ukplat.Platform, nics int) (ukboot.Report, error) {
+	m := env.NewMachine()
 	vm, err := ukboot.Boot(m, ukboot.Config{
 		Platform:   p,
 		MemBytes:   8 << 20,
@@ -325,7 +316,7 @@ func bootHello(p ukplat.Platform, nics int) (ukboot.Report, error) {
 	return vm.Report, nil
 }
 
-func fig10() (*Result, error) {
+func fig10(env *Env) (*Result, error) {
 	res := &Result{
 		ID: "fig10", Title: Title("fig10"),
 		Headers: []string{"vmm", "vmm-ms", "guest-ms", "total-ms"},
@@ -342,7 +333,7 @@ func fig10() (*Result, error) {
 		{"firecracker", ukplat.KVMFirecracker, 0},
 	}
 	for _, c := range cases {
-		r, err := bootHello(c.plat, c.nics)
+		r, err := bootHello(env, c.plat, c.nics)
 		if err != nil {
 			return nil, err
 		}
@@ -360,7 +351,7 @@ func fig10() (*Result, error) {
 func ms(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond)) }
 func us(d time.Duration) string { return fmt.Sprintf("%.1f", float64(d)/float64(time.Microsecond)) }
 
-func fig11() (*Result, error) {
+func fig11(env *Env) (*Result, error) {
 	res := &Result{
 		ID: "fig11", Title: Title("fig11"),
 		Headers: []string{"system", "hello-MB", "nginx-MB", "redis-MB", "sqlite-MB", "source"},
@@ -399,13 +390,13 @@ func fig11() (*Result, error) {
 	return res, nil
 }
 
-func fig14() (*Result, error) {
+func fig14(env *Env) (*Result, error) {
 	res := &Result{
 		ID: "fig14", Title: Title("fig14"),
 		Headers: []string{"allocator", "guest-boot-ms"},
 	}
 	for _, alloc := range []string{"buddy", "mimalloc", "bootalloc", "tinyalloc", "tlsf"} {
-		m := sim.NewMachine()
+		m := env.NewMachine()
 		vm, err := ukboot.Boot(m, ukboot.Config{
 			Platform:   ukplat.KVMQemu,
 			MemBytes:   1 << 30,
@@ -425,13 +416,13 @@ func fig14() (*Result, error) {
 	return res, nil
 }
 
-func fig21() (*Result, error) {
+func fig21(env *Env) (*Result, error) {
 	res := &Result{
 		ID: "fig21", Title: Title("fig21"),
 		Headers: []string{"pagetable", "memory", "boot-us"},
 	}
 	pt := func(mode ukboot.PTMode, mem int) (time.Duration, error) {
-		m := sim.NewMachine()
+		m := env.NewMachine()
 		vm, err := ukboot.Boot(m, ukboot.Config{
 			Platform:   ukplat.Solo5,
 			MemBytes:   mem,
@@ -466,13 +457,13 @@ func fig21() (*Result, error) {
 	return res, nil
 }
 
-func text9pfsBoot() (*Result, error) {
+func text9pfsBoot(env *Env) (*Result, error) {
 	res := &Result{
 		ID: "txt1", Title: Title("txt1"),
 		Headers: []string{"platform", "9pfs-mount-ms"},
 	}
 	for _, p := range []ukplat.Platform{ukplat.KVMQemu, ukplat.Xen} {
-		m := sim.NewMachine()
+		m := env.NewMachine()
 		with, err := ukboot.Boot(m, ukboot.Config{
 			Platform: p, MemBytes: 64 << 20, ImageBytes: 1 << 20,
 			PTMode: ukboot.PTStatic, Allocator: "tlsf", Mount9pfs: true,
@@ -495,7 +486,7 @@ func text9pfsBoot() (*Result, error) {
 
 // --- filesystems (Figs 20, 22) ----------------------------------------------------
 
-func fig20() (*Result, error) {
+func fig20(env *Env) (*Result, error) {
 	res := &Result{
 		ID: "fig20", Title: Title("fig20"),
 		Headers: []string{"block-KB", "uk-read-us", "uk-write-us", "linux-read-us", "linux-write-us"},
@@ -511,7 +502,7 @@ func fig20() (*Result, error) {
 		if _, err := f.WriteAt(payload, 0); err != nil {
 			return nil, nil, err
 		}
-		m := sim.NewMachine()
+		m := env.NewMachine()
 		srv := ninepfs.NewServer(host)
 		tr := ninepfs.NewTransport(m, srv)
 		tr.RTTBaseCycles = rttBase
@@ -580,8 +571,8 @@ func fig20() (*Result, error) {
 	return res, nil
 }
 
-func fig22() (*Result, error) {
-	m := sim.NewMachine()
+func fig22(env *Env) (*Result, error) {
+	m := env.NewMachine()
 	// SHFS volume with 1000 files at the root (the paper's setup).
 	vol := shfs.New(m, 4096)
 	for i := 0; i < 1000; i++ {

@@ -184,12 +184,9 @@ func Boot(m *sim.Machine, cfg Config) (*VM, error) {
 		}
 	}
 	if err := step("alloc:"+cfg.Allocator, func() error {
-		a, err := ukalloc.NewBackend(cfg.Allocator, m)
+		a, err := ukalloc.NewInitialized(cfg.Allocator, m, heapBytes)
 		if err != nil {
 			return err
-		}
-		if err := a.Init(make([]byte, heapBytes)); err != nil {
-			return fmt.Errorf("heap %d bytes: %w", heapBytes, err)
 		}
 		vm.Allocs.Register(a)
 		vm.Heap = a

@@ -36,13 +36,17 @@ type Image struct {
 	RemovedBytes int
 }
 
-// Build resolves an application profile against the catalog and links
-// it for the given platform ("kvm", "xen", "linuxu").
-func Build(c *core.Catalog, app core.AppProfile, platform string, opts Options) (*Image, error) {
-	providers := map[string]string{
-		"libc":    app.Libc,
-		"ukalloc": app.Allocator,
-		"plat":    "plat-" + platform,
+// Providers returns the API-provider selection an application profile
+// implies on a platform — the single place the profile-to-Kconfig
+// mapping lives (the build step, dependency-graph tools and the
+// experiment harness all resolve through it).
+func Providers(app core.AppProfile, platform string) map[string]string {
+	providers := map[string]string{"plat": "plat-" + platform}
+	if app.Libc != "" {
+		providers["libc"] = app.Libc
+	}
+	if app.Allocator != "" {
+		providers["ukalloc"] = app.Allocator
 	}
 	if app.Scheduler != "" {
 		providers["uksched"] = app.Scheduler
@@ -51,6 +55,13 @@ func Build(c *core.Catalog, app core.AppProfile, platform string, opts Options) 
 		providers["netstack"] = "lwip"
 		providers["netdev"] = "uknetdev"
 	}
+	return providers
+}
+
+// Build resolves an application profile against the catalog and links
+// it for the given platform ("kvm", "xen", "solo5", "linuxu").
+func Build(c *core.Catalog, app core.AppProfile, platform string, opts Options) (*Image, error) {
+	providers := Providers(app, platform)
 	closure, err := c.Closure([]string{app.Lib}, providers)
 	if err != nil {
 		return nil, fmt.Errorf("ukbuild: resolving %s: %w", app.Name, err)

@@ -11,7 +11,10 @@
 // (§5.1).
 package ukplat
 
-import "time"
+import (
+	"sort"
+	"time"
+)
 
 // Platform describes one virtualization target.
 type Platform struct {
@@ -138,6 +141,42 @@ func ByVMM(name string) (Platform, bool) {
 		}
 	}
 	return Platform{}, false
+}
+
+// ByName returns the default platform entry for a platform name ("kvm"
+// maps to the stock QEMU monitor), or false. Several VMMs can serve one
+// platform; ByVMM selects among them.
+func ByName(name string) (Platform, bool) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Platform{}, false
+}
+
+// Names lists the distinct platform names, sorted.
+func Names() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range All() {
+		if !seen[p.Name] {
+			seen[p.Name] = true
+			out = append(out, p.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VMMs lists the monitor names, sorted.
+func VMMs() []string {
+	out := make([]string, 0, len(All()))
+	for _, p := range All() {
+		out = append(out, p.VMM)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // MemRegion describes one guest-physical memory region handed to the

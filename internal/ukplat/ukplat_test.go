@@ -37,6 +37,29 @@ func TestByVMM(t *testing.T) {
 	}
 }
 
+func TestByNameAndListings(t *testing.T) {
+	p, ok := ByName("kvm")
+	if !ok || p.VMM != "qemu" {
+		t.Fatalf("ByName(kvm) = %+v, %v; want the stock QEMU entry", p, ok)
+	}
+	if _, ok := ByName("hyperv"); ok {
+		t.Fatal("unknown platform found")
+	}
+	names := Names()
+	want := []string{"kvm", "linuxu", "solo5", "xen"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	if vmms := VMMs(); len(vmms) != len(All()) {
+		t.Errorf("VMMs() = %v", vmms)
+	}
+}
+
 func TestLayout(t *testing.T) {
 	regions := Layout(1<<20 /*image*/, 64<<20 /*total*/, 64<<10 /*stack*/)
 	if len(regions) != 3 {

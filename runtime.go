@@ -1,0 +1,339 @@
+package unikraft
+
+import (
+	"fmt"
+	"sync"
+
+	"unikraft/internal/core"
+	"unikraft/internal/experiments"
+	"unikraft/internal/sim"
+	"unikraft/internal/syscalls"
+	"unikraft/internal/ukalloc"
+	"unikraft/internal/ukboot"
+	"unikraft/internal/ukbuild"
+	"unikraft/internal/ukplat"
+)
+
+// Runtime is the SDK's execution context: it owns the micro-library
+// catalog builds resolve against and the simulated-machine factory boots
+// run on. A Runtime is cheap to create, safe for concurrent use, and
+// everything that used to be a string-keyed free function over hidden
+// globals is a method on it:
+//
+//	rt := unikraft.NewRuntime()
+//	img, err := rt.Build(spec)   // link an image
+//	vm, err := rt.Boot(spec)     // build + boot, keep the VM
+//	inst, err := rt.Run(spec)    // build + boot, keep both
+type Runtime struct {
+	catalog    *core.Catalog
+	newMachine func() *sim.Machine
+
+	// cached is the lazily built default catalog, invalidated when the
+	// library registry's generation moves.
+	mu        sync.Mutex
+	cached    *core.Catalog
+	cachedGen int64
+}
+
+// RuntimeOption configures a Runtime at construction.
+type RuntimeOption func(*Runtime)
+
+// WithCatalog pins the runtime to a fixed catalog instead of the default
+// (which tracks RegisterLibrary calls).
+func WithCatalog(c *core.Catalog) RuntimeOption {
+	return func(rt *Runtime) { rt.catalog = c }
+}
+
+// WithMachineFactory substitutes the simulated-machine constructor —
+// e.g. a machine with a different clock model.
+func WithMachineFactory(f func() *sim.Machine) RuntimeOption {
+	return func(rt *Runtime) { rt.newMachine = f }
+}
+
+// NewRuntime builds a Runtime over the calibrated default catalog and
+// stock simulated machines.
+func NewRuntime(opts ...RuntimeOption) *Runtime {
+	rt := &Runtime{newMachine: sim.NewMachine}
+	for _, opt := range opts {
+		opt(rt)
+	}
+	return rt
+}
+
+// Catalog returns the catalog builds resolve against. Without
+// WithCatalog it is the default catalog, cached and rebuilt only when
+// RegisterLibrary changes the registry, so libraries registered after
+// NewRuntime stay visible without paying catalog synthesis per build.
+func (rt *Runtime) Catalog() *core.Catalog {
+	if rt.catalog != nil {
+		return rt.catalog
+	}
+	gen := core.CatalogGeneration()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.cached == nil || rt.cachedGen != gen {
+		rt.cached = core.DefaultCatalog()
+		rt.cachedGen = gen
+	}
+	return rt.cached
+}
+
+// Apps lists the registered application names, sorted.
+func (rt *Runtime) Apps() []string { return core.AppNames() }
+
+// RegisterApp adds an application profile to the app registry; see
+// core.RegisterApp for validation rules. The registry is process-wide:
+// every Runtime resolves specs against it.
+func (rt *Runtime) RegisterApp(p AppProfile) error { return core.RegisterApp(p) }
+
+// RegisterLibrary adds a custom micro-library to catalogs built after
+// the call (process-wide, like RegisterApp). It errors on a runtime
+// pinned with WithCatalog, where the registration could never become
+// visible to this runtime's builds.
+func (rt *Runtime) RegisterLibrary(name string, cfg LibraryConfig) error {
+	if rt.catalog != nil {
+		return fmt.Errorf("unikraft: RegisterLibrary(%s): runtime is pinned to a fixed catalog (WithCatalog); register before pinning or use a default runtime", name)
+	}
+	return core.RegisterLibrary(name, cfg)
+}
+
+// resolved is a Spec with every default filled in and every name
+// checked against the catalogs.
+type resolved struct {
+	profile  core.AppProfile
+	platform ukplat.Platform
+	backend  string // ukalloc backend booting initializes
+	mem      int
+	build    ukbuild.Options
+}
+
+// resolve validates s and fills defaults. All spec errors come from
+// here, so Build/Boot/Run fail fast with the same precise messages as
+// Validate.
+func (rt *Runtime) resolve(s Spec) (resolved, error) {
+	var r resolved
+	if s.App == "" {
+		return r, fmt.Errorf("unikraft: spec has no app (have %v)", core.AppNames())
+	}
+	profile, ok := core.AppByName(s.App)
+	if !ok {
+		return r, fmt.Errorf("unikraft: unknown app %q (have %v)", s.App, core.AppNames())
+	}
+	r.profile = profile
+
+	r.platform = ukplat.KVMQemu
+	switch {
+	case s.VMM != "":
+		p, ok := ukplat.ByVMM(s.VMM)
+		if !ok {
+			return r, fmt.Errorf("unikraft: unknown VMM %q (have %v)", s.VMM, ukplat.VMMs())
+		}
+		if s.Platform != "" && s.Platform != p.Name {
+			return r, fmt.Errorf("unikraft: VMM %q runs on platform %q, not %q", s.VMM, p.Name, s.Platform)
+		}
+		r.platform = p
+	case s.Platform != "":
+		p, ok := ukplat.ByName(s.Platform)
+		if !ok {
+			return r, fmt.Errorf("unikraft: unknown platform %q (have %v)", s.Platform, ukplat.Names())
+		}
+		r.platform = p
+	}
+
+	alloc := s.Allocator
+	if alloc == "" {
+		alloc = profile.Allocator
+	}
+	backend, err := ukalloc.ResolveBackend(alloc)
+	if err != nil {
+		return r, fmt.Errorf("unikraft: %s: %w", s.App, err)
+	}
+	r.backend = backend
+	// Normalize the profile to the catalog provider so images always
+	// link the right ukalloc library, whether the spec or the profile
+	// named the allocator by backend or provider name. Run-time-only
+	// backends have no provider; they keep the profile's library in the
+	// image and swap the heap at boot.
+	if provider, ok := ukalloc.ProviderForBackend(backend); ok {
+		r.profile.Allocator = provider
+	}
+
+	for _, lib := range s.ExtraLibs {
+		if _, ok := rt.Catalog().Get(lib); ok {
+			continue
+		}
+		// Boot-step names without a catalog library (e.g. "pthreads")
+		// are valid too: they carry a calibrated constructor cost.
+		if _, ok := ukboot.LibInitCost(lib); ok {
+			continue
+		}
+		return r, fmt.Errorf("unikraft: unknown extra library %q (not in the catalog or the boot-cost table)", lib)
+	}
+
+	if s.MemBytes < 0 {
+		return r, fmt.Errorf("unikraft: memory must not be negative, got %d (0 means the 64 MiB default)", s.MemBytes)
+	}
+	r.mem = s.MemBytes
+	if r.mem == 0 {
+		r.mem = 64 << 20
+	}
+	r.build = ukbuild.Options{DCE: s.DCE, LTO: s.LTO}
+	return r, nil
+}
+
+// Validate checks a spec against the registries without building
+// anything: unknown apps, platforms, VMMs, platform/VMM disagreement,
+// unknown allocators, unknown extra libraries and negative memory all
+// fail with precise errors (zero memory means the 64 MiB default).
+func (rt *Runtime) Validate(s Spec) error {
+	_, err := rt.resolve(s)
+	return err
+}
+
+// Build resolves and links the image a spec describes.
+func (rt *Runtime) Build(s Spec) (*Image, error) {
+	r, err := rt.resolve(s)
+	if err != nil {
+		return nil, err
+	}
+	return ukbuild.Build(rt.Catalog(), r.profile, r.platform.Name, r.build)
+}
+
+// Closure resolves the spec's micro-library closure and the API-provider
+// selection it implies, for dependency inspection (cmd/ukdeps).
+func (rt *Runtime) Closure(s Spec) ([]*core.Library, map[string]string, error) {
+	r, err := rt.resolve(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	providers := ukbuild.Providers(r.profile, r.platform.Name)
+	closure, err := rt.Catalog().Closure([]string{r.profile.Lib}, providers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return closure, providers, nil
+}
+
+// Instance is a built and booted unikernel: the linked image plus the
+// live VM with its boot report.
+type Instance struct {
+	Image *Image
+	VM    *VM
+}
+
+// Close releases the instance's VM resources.
+func (in *Instance) Close() {
+	if in != nil && in.VM != nil {
+		in.VM.Close()
+	}
+}
+
+// Run builds the spec's image and boots it on a fresh simulated machine
+// — the whole pipeline in one call. The caller must Close the instance.
+func (rt *Runtime) Run(s Spec) (*Instance, error) {
+	r, err := rt.resolve(s)
+	if err != nil {
+		return nil, err
+	}
+	img, err := ukbuild.Build(rt.Catalog(), r.profile, r.platform.Name, r.build)
+	if err != nil {
+		return nil, err
+	}
+	cfg := ukboot.Config{
+		Platform:   r.platform,
+		MemBytes:   r.mem,
+		ImageBytes: img.Bytes,
+		PTMode:     ukboot.PTStatic,
+		Allocator:  r.backend,
+		NICs:       r.profile.NICs,
+		Mount9pfs:  s.Mount9pfs,
+	}
+	if s.DynamicPageTable {
+		cfg.PTMode = ukboot.PTDynamic
+	}
+	if r.profile.NICs > 0 {
+		cfg.Libs = append(cfg.Libs, "lwip")
+	}
+	cfg.Libs = append(cfg.Libs, "vfscore", "ramfs")
+	if r.profile.Scheduler != "" {
+		cfg.Libs = append(cfg.Libs, "uksched")
+	}
+	cfg.Libs = append(cfg.Libs, s.ExtraLibs...)
+	vm, err := ukboot.Boot(rt.newMachine(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Image: img, VM: vm}, nil
+}
+
+// Boot is Run for callers that only need the VM. The caller must Close
+// it.
+func (rt *Runtime) Boot(s Spec) (*VM, error) {
+	inst, err := rt.Run(s)
+	if err != nil {
+		return nil, err
+	}
+	return inst.VM, nil
+}
+
+// appMemFloors are the startup heap demands used by minimum-memory
+// probing (Fig 11).
+var appMemFloors = map[string]int{
+	"helloworld": 256 << 10,
+	"nginx":      2 << 20,
+	"redis":      4 << 20,
+	"sqlite":     1 << 20,
+}
+
+// MinMemory probes the minimum guest memory at which the spec boots and
+// the application's startup allocations fit (Fig 11). The spec's
+// MemBytes is ignored; its build flags and allocator are honored.
+func (rt *Runtime) MinMemory(s Spec) (int, error) {
+	r, err := rt.resolve(s)
+	if err != nil {
+		return 0, err
+	}
+	img, err := ukbuild.Build(rt.Catalog(), r.profile, r.platform.Name, r.build)
+	if err != nil {
+		return 0, err
+	}
+	floor := appMemFloors[s.App]
+	if floor == 0 {
+		floor = 1 << 20
+	}
+	return ukboot.MinMemory(ukboot.Config{
+		Platform:   r.platform,
+		ImageBytes: img.Bytes,
+		PTMode:     ukboot.PTStatic,
+		Allocator:  r.backend,
+	}, floor)
+}
+
+// env adapts the runtime for the experiment harness.
+func (rt *Runtime) env() *experiments.Env {
+	return &experiments.Env{Catalog: rt.Catalog(), NewMachine: rt.newMachine}
+}
+
+// Experiments lists the regenerable tables/figures.
+func (rt *Runtime) Experiments() []string { return experiments.IDs() }
+
+// ExperimentTitle returns an experiment's display title.
+func (rt *Runtime) ExperimentTitle(id string) string { return experiments.Title(id) }
+
+// RunExperiment regenerates one table/figure against this runtime.
+func (rt *Runtime) RunExperiment(id string) (*ExperimentResult, error) {
+	return experiments.Run(rt.env(), id)
+}
+
+// RunAllExperiments regenerates the whole evaluation concurrently and
+// returns the results in ID order (nil slots for failures, with their
+// errors joined).
+func (rt *Runtime) RunAllExperiments() ([]*ExperimentResult, error) {
+	return experiments.RunAll(rt.env())
+}
+
+// SyscallAnalysis runs the §4.1 binary-compatibility analysis of the
+// top-30 server applications against the supported syscall set.
+func (rt *Runtime) SyscallAnalysis() *syscalls.Analysis {
+	return syscalls.Analyze(syscalls.Top30Apps(), syscalls.SupportedNumbers)
+}

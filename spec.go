@@ -1,0 +1,156 @@
+package unikraft
+
+import "fmt"
+
+// Spec is the declarative description of one unikernel: which
+// application to specialize, for which platform and monitor, with which
+// micro-library choices and build flags — the programmatic analog of a
+// kraftfile plus its Kconfig selections. The zero value of every field
+// means "use the application profile's default"; a Spec is a plain value
+// and can be copied, extended with With, and validated up front with
+// Runtime.Validate before any build work happens.
+type Spec struct {
+	// App names a registered application profile ("nginx", "redis", ...;
+	// see Apps and RegisterApp).
+	App string
+
+	// Platform targets "kvm", "xen", "solo5" or "linuxu" (default kvm).
+	Platform string
+
+	// VMM selects the monitor: "qemu" (default), "qemu-microvm",
+	// "firecracker", "solo5-hvt", "xl", or "none" for linuxu. Setting a
+	// VMM implies its platform; setting both is validated for agreement.
+	VMM string
+
+	// Allocator overrides the profile's ukalloc backend. Both backend
+	// names ("tlsf") and catalog provider names ("ukalloctlsf") are
+	// accepted.
+	Allocator string
+
+	// MemBytes is total guest memory (default 64 MiB).
+	MemBytes int
+
+	// DCE enables dead code elimination (--gc-sections); LTO enables
+	// link-time optimization — the two Fig 8 switches.
+	DCE, LTO bool
+
+	// DynamicPageTable selects §6.1's dynamic paging (default static).
+	DynamicPageTable bool
+
+	// Mount9pfs adds the virtio-9p mount step (§5.2 boot cost).
+	Mount9pfs bool
+
+	// ExtraLibs lists additional micro-libraries whose constructors run
+	// at boot, beyond the ones the profile implies.
+	ExtraLibs []string
+}
+
+// Option mutates a Spec; NewSpec and Spec.With apply options in order,
+// so later options win.
+type Option func(*Spec)
+
+// NewSpec builds a Spec for a registered application with the given
+// options applied.
+func NewSpec(app string, opts ...Option) Spec {
+	s := Spec{App: app}
+	return s.With(opts...)
+}
+
+// With returns a copy of s with more options applied — specs compose:
+//
+//	base := unikraft.NewSpec("nginx", unikraft.WithDCE(), unikraft.WithLTO())
+//	fast := base.With(unikraft.WithAllocator("mimalloc"))
+func (s Spec) With(opts ...Option) Spec {
+	if len(s.ExtraLibs) > 0 {
+		s.ExtraLibs = append([]string(nil), s.ExtraLibs...)
+	}
+	for _, opt := range opts {
+		opt(&s)
+	}
+	return s
+}
+
+// String renders the spec compactly for logs and errors.
+func (s Spec) String() string {
+	out := "spec(" + s.App
+	if s.Platform != "" {
+		out += " plat=" + s.Platform
+	}
+	if s.VMM != "" {
+		out += " vmm=" + s.VMM
+	}
+	if s.Allocator != "" {
+		out += " alloc=" + s.Allocator
+	}
+	if s.MemBytes != 0 {
+		out += fmt.Sprintf(" mem=%dMiB", s.MemBytes>>20)
+	}
+	if s.DCE {
+		out += " +dce"
+	}
+	if s.LTO {
+		out += " +lto"
+	}
+	if s.DynamicPageTable {
+		out += " +dynpt"
+	}
+	if s.Mount9pfs {
+		out += " +9pfs"
+	}
+	if len(s.ExtraLibs) > 0 {
+		out += fmt.Sprintf(" libs=%v", s.ExtraLibs)
+	}
+	return out + ")"
+}
+
+// WithPlatform targets a platform ("kvm", "xen", "solo5", "linuxu").
+func WithPlatform(platform string) Option {
+	return func(s *Spec) { s.Platform = platform }
+}
+
+// WithVMM selects the monitor ("qemu", "qemu-microvm", "firecracker",
+// "solo5-hvt", "xl", "none").
+func WithVMM(vmm string) Option {
+	return func(s *Spec) { s.VMM = vmm }
+}
+
+// WithAllocator overrides the ukalloc backend ("tlsf", "buddy",
+// "tinyalloc", "mimalloc", "bootalloc", or a catalog provider name).
+func WithAllocator(name string) Option {
+	return func(s *Spec) { s.Allocator = name }
+}
+
+// WithMemory sets total guest memory in bytes.
+func WithMemory(bytes int) Option {
+	return func(s *Spec) { s.MemBytes = bytes }
+}
+
+// WithDCE enables dead code elimination.
+func WithDCE() Option {
+	return func(s *Spec) { s.DCE = true }
+}
+
+// WithLTO enables link-time optimization.
+func WithLTO() Option {
+	return func(s *Spec) { s.LTO = true }
+}
+
+// WithBuildFlags sets both Fig 8 link switches at once.
+func WithBuildFlags(dce, lto bool) Option {
+	return func(s *Spec) { s.DCE, s.LTO = dce, lto }
+}
+
+// WithDynamicPageTable selects §6.1's dynamic paging strategy.
+func WithDynamicPageTable() Option {
+	return func(s *Spec) { s.DynamicPageTable = true }
+}
+
+// With9pfs adds the virtio-9p mount step to the boot pipeline.
+func With9pfs() Option {
+	return func(s *Spec) { s.Mount9pfs = true }
+}
+
+// WithExtraLibs appends micro-libraries to initialize at boot.
+func WithExtraLibs(libs ...string) Option {
+	return func(s *Spec) { s.ExtraLibs = append(s.ExtraLibs, libs...) }
+}

@@ -2,17 +2,32 @@
 // micro-library operating system construction kit (Kuenzer et al.,
 // EuroSys'21) over a deterministic full-system simulator.
 //
-// The typical pipeline mirrors the paper's workflow:
+// The SDK is built around two concepts. A Spec declaratively describes
+// one unikernel — the application, platform, monitor, allocator, memory
+// and build flags, the programmatic analog of a kraftfile — and a
+// Runtime owns the catalog and simulator and turns specs into images and
+// running VMs:
 //
-//	cat := unikraft.Catalog()                  // micro-library catalog
-//	img, _ := unikraft.BuildApp("nginx", "kvm",
-//	    unikraft.BuildOptions{DCE: true, LTO: true})
-//	vm, _ := unikraft.BootApp("nginx", unikraft.BootOptions{})
-//	defer vm.Close()
-//	fmt.Println(img.Bytes, vm.Report.Total())
+//	rt := unikraft.NewRuntime()
+//	spec := unikraft.NewSpec("nginx",
+//	    unikraft.WithPlatform(unikraft.PlatformKVM),
+//	    unikraft.WithAllocator("tlsf"),
+//	    unikraft.WithDCE(), unikraft.WithLTO())
+//	img, _ := rt.Build(spec)                   // linked image (Fig 8 pipeline)
+//	inst, _ := rt.Run(spec)                    // build + boot in one call
+//	defer inst.Close()
+//	fmt.Println(img.Bytes, inst.VM.Report.Total())
+//
+// New workloads register without touching the core catalog:
+//
+//	unikraft.RegisterLibrary("app-myapp", unikraft.LibraryConfig{
+//	    UsedBytes: 64 << 10, App: true, Deps: []string{"ukboot"}})
+//	unikraft.RegisterApp(unikraft.AppProfile{Name: "myapp", Lib: "app-myapp"})
+//	inst, _ := rt.Run(unikraft.NewSpec("myapp"))
 //
 // Everything the paper's evaluation measures is regenerable through
-// RunExperiment / Experiments; see EXPERIMENTS.md for paper-vs-measured.
+// Runtime.RunExperiment / Runtime.RunAllExperiments; see EXPERIMENTS.md
+// for paper-vs-measured.
 package unikraft
 
 import (
@@ -30,7 +45,6 @@ import (
 	"unikraft/internal/ukalloc"
 	"unikraft/internal/ukboot"
 	"unikraft/internal/ukbuild"
-	"unikraft/internal/ukplat"
 )
 
 // BuildOptions are the link-time switches from the paper's Fig 8 sweep.
@@ -48,39 +62,53 @@ type BootReport = ukboot.Report
 // ExperimentResult is a regenerated table/figure.
 type ExperimentResult = experiments.Result
 
-// Platform names accepted by BuildApp/BootApp.
+// AppProfile describes a buildable application target for RegisterApp.
+type AppProfile = core.AppProfile
+
+// LibraryConfig describes a custom micro-library for RegisterLibrary.
+type LibraryConfig = core.LibraryConfig
+
+// Platform names accepted by specs.
 const (
 	PlatformKVM    = "kvm"
 	PlatformXen    = "xen"
+	PlatformSolo5  = "solo5"
 	PlatformLinuxU = "linuxu"
 )
 
-// Allocator backend names (the five ukalloc backends of §3.2/§5.5).
-var Allocators = []string{"buddy", "tlsf", "tinyalloc", "mimalloc", "bootalloc"}
+// Allocators lists the currently registered ukalloc backends (the five
+// backends of §3.2/§5.5 plus any added via ukalloc.RegisterBackend),
+// sorted.
+func Allocators() []string { return ukalloc.BackendNames() }
 
-// Apps lists the canonical application profiles (helloworld, nginx,
-// redis, sqlite, webcache, udpkv).
-func Apps() []string {
-	var out []string
-	for _, a := range core.Apps() {
-		out = append(out, a.Name)
-	}
-	return out
-}
+// Apps lists the registered application profiles, sorted.
+func Apps() []string { return core.AppNames() }
 
-// Catalog returns the calibrated micro-library catalog.
+// Catalog returns the calibrated micro-library catalog (including
+// libraries added via RegisterLibrary).
 func Catalog() *core.Catalog { return core.DefaultCatalog() }
 
+// RegisterApp adds an application profile to the app registry so specs
+// can name it; its Lib must exist in the catalog (see RegisterLibrary).
+func RegisterApp(p AppProfile) error { return core.RegisterApp(p) }
+
+// RegisterLibrary adds a custom micro-library to every catalog built
+// after the call.
+func RegisterLibrary(name string, cfg LibraryConfig) error {
+	return core.RegisterLibrary(name, cfg)
+}
+
 // BuildApp resolves and links an application image for a platform.
+//
+// Deprecated: use NewRuntime and Runtime.Build with a Spec.
 func BuildApp(app, platform string, opts BuildOptions) (*Image, error) {
-	profile, ok := core.AppByName(app)
-	if !ok {
-		return nil, fmt.Errorf("unikraft: unknown app %q (have %v)", app, Apps())
-	}
-	return ukbuild.Build(core.DefaultCatalog(), profile, platform, opts)
+	return NewRuntime().Build(NewSpec(app,
+		WithPlatform(platform), WithBuildFlags(opts.DCE, opts.LTO)))
 }
 
 // BootOptions parameterize BootApp.
+//
+// Deprecated: use a Spec with functional options instead.
 type BootOptions struct {
 	// VMM selects the monitor: "qemu" (default), "qemu-microvm",
 	// "firecracker", "solo5-hvt", "xl".
@@ -97,82 +125,34 @@ type BootOptions struct {
 
 // BootApp builds and boots an application image, returning the VM with
 // its timing report. The caller must Close the VM.
+//
+// Deprecated: use NewRuntime and Runtime.Boot (or Runtime.Run) with a
+// Spec.
 func BootApp(app string, opts BootOptions) (*VM, error) {
-	profile, ok := core.AppByName(app)
-	if !ok {
-		return nil, fmt.Errorf("unikraft: unknown app %q (have %v)", app, Apps())
-	}
-	platform := ukplat.KVMQemu
+	spec := NewSpec(app, WithDCE(), WithLTO())
 	if opts.VMM != "" {
-		p, found := ukplat.ByVMM(opts.VMM)
-		if !found {
-			return nil, fmt.Errorf("unikraft: unknown VMM %q", opts.VMM)
-		}
-		platform = p
+		spec = spec.With(WithVMM(opts.VMM))
 	}
-	img, err := ukbuild.Build(core.DefaultCatalog(), profile, platform.Name, BuildOptions{DCE: true, LTO: true})
-	if err != nil {
-		return nil, err
+	if opts.MemBytes != 0 {
+		spec = spec.With(WithMemory(opts.MemBytes))
 	}
-	mem := opts.MemBytes
-	if mem == 0 {
-		mem = 64 << 20
+	if opts.Allocator != "" {
+		spec = spec.With(WithAllocator(opts.Allocator))
 	}
-	alloc := opts.Allocator
-	if alloc == "" {
-		alloc = backendOf(profile.Allocator)
-	}
-	pt := ukboot.PTStatic
 	if opts.DynamicPageTable {
-		pt = ukboot.PTDynamic
+		spec = spec.With(WithDynamicPageTable())
 	}
-	cfg := ukboot.Config{
-		Platform:   platform,
-		MemBytes:   mem,
-		ImageBytes: img.Bytes,
-		PTMode:     pt,
-		Allocator:  alloc,
-		NICs:       profile.NICs,
-		Mount9pfs:  opts.Mount9pfs,
+	if opts.Mount9pfs {
+		spec = spec.With(With9pfs())
 	}
-	if profile.NICs > 0 {
-		cfg.Libs = append(cfg.Libs, "lwip")
-	}
-	cfg.Libs = append(cfg.Libs, "vfscore", "ramfs")
-	if profile.Scheduler != "" {
-		cfg.Libs = append(cfg.Libs, "uksched")
-	}
-	return ukboot.Boot(sim.NewMachine(), cfg)
-}
-
-// backendOf maps catalog provider names to ukalloc backend names.
-func backendOf(provider string) string {
-	switch provider {
-	case "ukallocbuddy":
-		return "buddy"
-	case "ukalloctlsf":
-		return "tlsf"
-	case "ukalloctiny":
-		return "tinyalloc"
-	case "ukallocmim":
-		return "mimalloc"
-	case "ukallocboot":
-		return "bootalloc"
-	}
-	return "tlsf"
+	return NewRuntime().Boot(spec)
 }
 
 // NewAllocator builds and initializes a named ukalloc backend over a
-// fresh heap (for library users who want just an allocator).
+// fresh heap (for library users who want just an allocator). Backend and
+// catalog provider names are both accepted.
 func NewAllocator(name string, heapBytes int) (ukalloc.Allocator, error) {
-	a, err := ukalloc.NewBackend(name, nil)
-	if err != nil {
-		return nil, err
-	}
-	if err := a.Init(make([]byte, heapBytes)); err != nil {
-		return nil, err
-	}
-	return a, nil
+	return ukalloc.NewInitialized(name, nil, heapBytes)
 }
 
 // Experiments lists the regenerable tables/figures.
@@ -181,36 +161,23 @@ func Experiments() []string { return experiments.IDs() }
 // ExperimentTitle returns an experiment's display title.
 func ExperimentTitle(id string) string { return experiments.Title(id) }
 
-// RunExperiment regenerates one table/figure by ID ("fig12", "tab1"...).
+// RunExperiment regenerates one table/figure by ID ("fig12", "tab1"...)
+// against a default runtime.
+//
+// Deprecated: use NewRuntime and Runtime.RunExperiment.
 func RunExperiment(id string) (*ExperimentResult, error) {
-	return experiments.Run(id)
+	return NewRuntime().RunExperiment(id)
 }
 
 // MinMemory probes the minimum guest memory for an app (Fig 11).
+//
+// Deprecated: use NewRuntime and Runtime.MinMemory with a Spec.
 func MinMemory(app string) (int, error) {
-	profile, ok := core.AppByName(app)
-	if !ok {
-		return 0, fmt.Errorf("unikraft: unknown app %q", app)
-	}
-	img, err := ukbuild.Build(core.DefaultCatalog(), profile, "kvm", BuildOptions{})
-	if err != nil {
-		return 0, err
-	}
-	floors := map[string]int{"helloworld": 256 << 10, "nginx": 2 << 20, "redis": 4 << 20, "sqlite": 1 << 20}
-	floor := floors[app]
-	if floor == 0 {
-		floor = 1 << 20
-	}
-	return ukboot.MinMemory(ukboot.Config{
-		Platform:   ukplat.KVMQemu,
-		ImageBytes: img.Bytes,
-		PTMode:     ukboot.PTStatic,
-		Allocator:  "tlsf",
-	}, floor)
+	return NewRuntime().MinMemory(NewSpec(app, WithAllocator("tlsf")))
 }
 
 // Version is the library version string.
-const Version = "1.0.0"
+const Version = "2.0.0"
 
 // DefaultCPUHz is the simulated clock rate (the paper's i7-9700K).
 const DefaultCPUHz = sim.DefaultHz
