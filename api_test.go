@@ -158,6 +158,86 @@ func TestDeprecatedWrappersMatchRuntime(t *testing.T) {
 	}
 }
 
+// TestDeprecatedWrappersFullParity pins every remaining string-keyed
+// wrapper to its Spec-API equivalent, option by option: the wrappers
+// must stay thin veneers, never a second code path.
+func TestDeprecatedWrappersFullParity(t *testing.T) {
+	rt := NewRuntime()
+
+	// BootApp forwards every option; boot reports must agree exactly.
+	old, err := BootApp("redis", BootOptions{
+		VMM: "qemu-microvm", MemBytes: 32 << 20, Allocator: "tinyalloc",
+		DynamicPageTable: true, Mount9pfs: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	inst, err := rt.Run(NewSpec("redis",
+		WithVMM("qemu-microvm"), WithMemory(32<<20), WithAllocator("tinyalloc"),
+		WithDynamicPageTable(), With9pfs(), WithDCE(), WithLTO()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if old.Report.VMM != inst.VM.Report.VMM || old.Report.Guest != inst.VM.Report.Guest {
+		t.Errorf("BootApp report %v+%v, Spec path %v+%v",
+			old.Report.VMM, old.Report.Guest, inst.VM.Report.VMM, inst.VM.Report.Guest)
+	}
+	if old.Heap.Name() != inst.VM.Heap.Name() {
+		t.Errorf("heaps differ: %s vs %s", old.Heap.Name(), inst.VM.Heap.Name())
+	}
+
+	// MinMemory wrapper pins the tlsf allocator; so does the Spec path.
+	oldMin, err := MinMemory("nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newMin, err := rt.MinMemory(NewSpec("nginx", WithAllocator("tlsf")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldMin != newMin {
+		t.Errorf("MinMemory wrapper = %d, Runtime = %d", oldMin, newMin)
+	}
+
+	// RunExperiment wrapper and method regenerate identical tables.
+	oldRes, err := RunExperiment("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRes, err := rt.RunExperiment("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldRes.Render() != newRes.Render() {
+		t.Error("RunExperiment wrapper and Runtime.RunExperiment disagree")
+	}
+}
+
+func TestSpecStackBytes(t *testing.T) {
+	rt := NewRuntime()
+	s := NewSpec("helloworld", WithStackBytes(128<<10))
+	if s.StackBytes != 128<<10 {
+		t.Fatalf("WithStackBytes not applied: %+v", s)
+	}
+	if got := s.String(); !strings.Contains(got, "stack=128KiB") {
+		t.Errorf("String() = %q, want stack rendered", got)
+	}
+	if err := rt.Validate(NewSpec("helloworld", WithStackBytes(-1))); err == nil ||
+		!strings.Contains(err.Error(), "stack size must not be negative") {
+		t.Errorf("negative stack validation = %v", err)
+	}
+	inst, err := rt.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if inst.VM.Config.StackBytes != 128<<10 {
+		t.Errorf("stack did not reach boot config: %d", inst.VM.Config.StackBytes)
+	}
+}
+
 // register tolerates "already registered" so tests stay idempotent
 // under -count=N (the registry is process-global).
 func register(t *testing.T, err error) {

@@ -181,6 +181,13 @@ func BenchmarkText9pfsBoot(b *testing.B) {
 	b.ReportMetric(metric(res, "qemu", 1), "kvm-9pfs-mount-ms")
 }
 
+func BenchmarkServe(b *testing.B) {
+	res := runExperiment(b, "serve")
+	b.ReportMetric(metric(res, "poisson-steady", 4), "steady-warm-hit-pct")
+	b.ReportMetric(metric(res, "poisson-steady", 8), "boot-p50-ms")
+	b.ReportMetric(metric(res, "bursty-5x", 4), "bursty-warm-hit-pct")
+}
+
 // TestPublicAPI exercises the facade end to end (build, boot, min
 // memory, experiment registry).
 func TestPublicAPI(t *testing.T) {

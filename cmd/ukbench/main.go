@@ -4,9 +4,11 @@
 //	ukbench -list            enumerate experiments
 //	ukbench fig12 tab4 ...   run selected experiments
 //	ukbench -all             run everything concurrently (several minutes)
+//	ukbench -json fig8 ...   machine-readable results (CI consumes this)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +19,7 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs")
 	all := flag.Bool("all", false, "run every experiment (concurrently)")
+	jsonOut := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
 	flag.Parse()
 
 	rt := unikraft.NewRuntime()
@@ -26,12 +29,32 @@ func main() {
 		}
 		return
 	}
-	if *all {
-		results, err := rt.RunAllExperiments()
+
+	emit := func(results []*unikraft.ExperimentResult) error {
+		// Failed experiments leave nil slots (RunAllExperiments);
+		// neither output mode should surface them.
+		ok := results[:0:0]
 		for _, res := range results {
 			if res != nil {
-				fmt.Println(res.Render())
+				ok = append(ok, res)
 			}
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(ok)
+		}
+		for _, res := range ok {
+			fmt.Println(res.Render())
+		}
+		return nil
+	}
+
+	if *all {
+		results, err := rt.RunAllExperiments()
+		if eerr := emit(results); eerr != nil {
+			fmt.Fprintln(os.Stderr, "ukbench:", eerr)
+			os.Exit(1)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ukbench:", err)
@@ -39,17 +62,23 @@ func main() {
 		}
 		return
 	}
+
 	ids := flag.Args()
 	if len(ids) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ukbench [-list|-all] [experiment-id...]")
+		fmt.Fprintln(os.Stderr, "usage: ukbench [-list|-all] [-json] [experiment-id...]")
 		os.Exit(2)
 	}
+	results := make([]*unikraft.ExperimentResult, 0, len(ids))
 	for _, id := range ids {
 		res, err := rt.RunExperiment(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ukbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Println(res.Render())
+		results = append(results, res)
+	}
+	if err := emit(results); err != nil {
+		fmt.Fprintln(os.Stderr, "ukbench:", err)
+		os.Exit(1)
 	}
 }

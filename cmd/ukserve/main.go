@@ -1,0 +1,141 @@
+// Command ukserve drives the warm-pool serving layer: it builds one
+// spec, boots a pool of unikernel instances over it and pushes a
+// synthetic traffic trace (Poisson or bursty, millions of requests)
+// through the fleet, printing the serve report.
+//
+//	ukserve                                    1M-request steady default
+//	ukserve -requests 5000000 -rate 400000     heavier steady load
+//	ukserve -trace bursty -burst-rate 500000   on/off load, autoscaler working
+//	ukserve -json                              machine-readable report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"unikraft"
+)
+
+func main() {
+	var (
+		app   = flag.String("app", "nginx", "application profile to serve")
+		vmm   = flag.String("vmm", "firecracker", "monitor: qemu, qemu-microvm, firecracker, solo5-hvt, xl")
+		alloc = flag.String("alloc", "", "ukalloc backend override (profile default if empty)")
+		memMB = flag.Int("mem", 8, "guest memory per instance, MiB")
+
+		warm      = flag.Int("warm", 8, "warm-instance floor")
+		maxInst   = flag.Int("max", 256, "fleet cap")
+		coldBurst = flag.Int("cold-burst", 32, "max cold boots in flight")
+		window    = flag.Duration("window", 50*time.Millisecond, "autoscaler window (virtual time)")
+		p99       = flag.Duration("p99", 2*time.Millisecond, "latency SLO driving scale-ups")
+		noScale   = flag.Bool("no-autoscale", false, "pin the warm set at the floor")
+
+		requests  = flag.Int("requests", 1_000_000, "trace length")
+		rate      = flag.Float64("rate", 250_000, "arrival rate, requests/second")
+		bytes     = flag.Int("bytes", 256, "request payload size")
+		seed      = flag.Uint64("seed", 1, "trace seed")
+		trace     = flag.String("trace", "poisson", "trace shape: poisson or bursty")
+		burstRate = flag.Float64("burst-rate", 0, "bursty: in-burst rate (default 10x -rate)")
+		period    = flag.Duration("period", 200*time.Millisecond, "bursty: on/off period")
+		duty      = flag.Float64("duty", 0.2, "bursty: burst fraction of each period")
+
+		syscalls  = flag.Int("syscalls", 4, "shim syscalls per request")
+		appCycles = flag.Uint64("app-cycles", 12_000, "application cycles per request")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	rt := unikraft.NewRuntime()
+	spec := unikraft.NewSpec(*app,
+		unikraft.WithVMM(*vmm),
+		unikraft.WithMemory(*memMB<<20),
+		unikraft.WithDCE(), unikraft.WithLTO())
+	if *alloc != "" {
+		spec = spec.With(unikraft.WithAllocator(*alloc))
+	}
+
+	opts := []unikraft.PoolOption{
+		unikraft.WithWarm(*warm),
+		unikraft.WithMaxInstances(*maxInst),
+		unikraft.WithColdBurst(*coldBurst),
+		unikraft.WithScaleWindow(*window),
+		unikraft.WithTargetP99(*p99),
+		unikraft.WithServiceCost(*syscalls, *appCycles),
+	}
+	if *noScale {
+		opts = append(opts, unikraft.DisableAutoscale())
+	}
+	pool, err := rt.NewPool(spec, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer pool.Close()
+
+	var w unikraft.Workload
+	switch *trace {
+	case "poisson":
+		w = unikraft.PoissonWorkload(*seed, *rate, *requests, *bytes)
+	case "bursty":
+		br := *burstRate
+		if br <= 0 {
+			br = 10 * *rate
+		}
+		w = unikraft.BurstyWorkload(*seed, *rate, br, *period, *duty, *requests, *bytes)
+	default:
+		fatal(fmt.Errorf("unknown trace %q (have poisson, bursty)", *trace))
+	}
+
+	rep, err := pool.Serve(w)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reportJSON(spec, rep)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("spec     %s\n%s\n", spec, rep)
+}
+
+// reportJSON flattens the report (histograms to percentile summaries)
+// for machine consumers.
+func reportJSON(spec unikraft.Spec, r *unikraft.ServeReport) map[string]any {
+	hist := func(h *unikraft.ServeHistogram) map[string]any {
+		return map[string]any{
+			"count": h.Count, "min_ns": h.MinV.Nanoseconds(),
+			"p50_ns": h.Quantile(0.50).Nanoseconds(),
+			"p90_ns": h.Quantile(0.90).Nanoseconds(),
+			"p99_ns": h.Quantile(0.99).Nanoseconds(),
+			"max_ns": h.MaxV.Nanoseconds(), "mean_ns": h.Mean().Nanoseconds(),
+		}
+	}
+	return map[string]any{
+		"spec":           spec.String(),
+		"requests":       r.Requests,
+		"duration_ns":    r.Duration.Nanoseconds(),
+		"throughput_rps": r.Throughput(),
+		"warm_hits":      r.WarmHits,
+		"warm_hit_ratio": r.WarmHitRatio(),
+		"cold_boots":     r.ColdBoots,
+		"queued":         r.Queued,
+		"resets":         r.Resets,
+		"retired":        r.Retired,
+		"scale_ups":      r.ScaleUps,
+		"scale_downs":    r.ScaleDowns,
+		"peak_instances": r.PeakInstances,
+		"final_warm":     r.FinalInstances,
+		"boot":           hist(&r.Boot),
+		"latency":        hist(&r.Latency),
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ukserve:", err)
+	os.Exit(1)
+}

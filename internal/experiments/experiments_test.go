@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestRegistryComplete: every table/figure of the evaluation is
@@ -14,6 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "txt1",
+		"serve",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -97,6 +99,49 @@ func TestTable4Shape(t *testing.T) {
 	}
 	if sock < 150 || sock > 900 {
 		t.Errorf("socket path = %.0fK req/s, want paper-regime ~319K", sock)
+	}
+}
+
+// TestServeShape runs the full serving experiment (a million-request
+// steady trace plus a bursty one) and validates the acceptance bar:
+// warm-hit ratio above 90% under steady load, boot percentiles in the
+// platform's calibrated range, and real autoscaler traffic on the
+// bursty trace.
+func TestServeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput run")
+	}
+	res, err := Run(DefaultEnv(), "serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("want 2 traces, got rows %v", res.Rows)
+	}
+	col := map[string]int{}
+	for i, h := range res.Headers {
+		col[h] = i
+	}
+	steady := res.Rows[0]
+	if steady[0] != "poisson-steady" {
+		t.Fatalf("first row is %q", steady[0])
+	}
+	if n, _ := strconv.Atoi(steady[col["requests"]]); n < 1_000_000 {
+		t.Errorf("steady trace served %d requests, want >= 1M", n)
+	}
+	hit, err := strconv.ParseFloat(strings.TrimSuffix(steady[col["warm-hit"]], "%"), 64)
+	if err != nil || hit <= 90 {
+		t.Errorf("steady warm-hit = %q, want > 90%% (%v)", steady[col["warm-hit"]], err)
+	}
+	// Boot p50 must sit in the calibrated firecracker regime: above the
+	// 2.4ms VMM floor, under 10ms.
+	p50, err := time.ParseDuration(steady[col["boot-p50"]])
+	if err != nil || p50 < 2400*time.Microsecond || p50 > 10*time.Millisecond {
+		t.Errorf("boot p50 = %q, want in (2.4ms, 10ms] (%v)", steady[col["boot-p50"]], err)
+	}
+	bursty := res.Rows[1]
+	if cold, _ := strconv.Atoi(bursty[col["cold"]]); cold == 0 {
+		t.Error("bursty trace never cold-booted")
 	}
 }
 

@@ -94,6 +94,16 @@ func NewMachine() *Machine {
 	}
 }
 
+// NewMachineWithSeed builds a machine like NewMachine but with its
+// random source seeded from seed. Fleets of simulated instances (the
+// ukpool serving layer) give each instance a distinct deterministic
+// seed so per-instance clocks stay independent yet runs reproduce.
+func NewMachineWithSeed(seed uint64) *Machine {
+	m := NewMachine()
+	m.Rand.Seed(seed)
+	return m
+}
+
 // Charge advances the machine clock by n cycles.
 func (m *Machine) Charge(n uint64) { m.CPU.Advance(n) }
 

@@ -1,0 +1,124 @@
+package sim
+
+import "time"
+
+// EventLoop is a deterministic discrete-event scheduler over virtual
+// time. It is the substrate the serving layer (internal/ukpool) runs
+// on: request arrivals, service completions and autoscaler ticks are
+// events on one global timeline, while each instance's work is charged
+// to its own independent CPU clock. Events at the same virtual instant
+// run in scheduling order (a strictly increasing sequence number breaks
+// ties), so a run is reproducible event for event.
+//
+// An EventLoop is single-goroutine: Step/Run must not be called
+// concurrently, and callbacks run on the caller's goroutine.
+type EventLoop struct {
+	now  time.Duration
+	seq  uint64
+	heap []event
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func(now time.Duration)
+}
+
+// NewEventLoop returns an empty loop at virtual time zero.
+func NewEventLoop() *EventLoop { return &EventLoop{} }
+
+// Now reports the loop's current virtual time: the timestamp of the
+// event being (or last) dispatched.
+func (l *EventLoop) Now() time.Duration { return l.now }
+
+// Len reports the number of pending events.
+func (l *EventLoop) Len() int { return len(l.heap) }
+
+// At schedules fn to run at virtual time t. Times before Now are
+// clamped to Now, so a callback scheduling follow-up work "immediately"
+// cannot move time backwards.
+func (l *EventLoop) At(t time.Duration, fn func(now time.Duration)) {
+	if t < l.now {
+		t = l.now
+	}
+	l.seq++
+	l.push(event{at: t, seq: l.seq, fn: fn})
+}
+
+// After schedules fn to run d after Now.
+func (l *EventLoop) After(d time.Duration, fn func(now time.Duration)) {
+	if d < 0 {
+		d = 0
+	}
+	l.At(l.now+d, fn)
+}
+
+// Step dispatches the earliest pending event, advancing Now to its
+// timestamp. It reports whether an event was dispatched.
+func (l *EventLoop) Step() bool {
+	if len(l.heap) == 0 {
+		return false
+	}
+	e := l.pop()
+	l.now = e.at
+	e.fn(e.at)
+	return true
+}
+
+// Run dispatches events in timestamp order until none remain,
+// including events the callbacks themselves schedule.
+func (l *EventLoop) Run() {
+	for l.Step() {
+	}
+}
+
+// The heap is hand-rolled over a plain slice rather than
+// container/heap: the serving experiments push and pop millions of
+// events per run, and avoiding the interface boxing keeps the loop out
+// of the profile.
+
+func (l *EventLoop) push(e event) {
+	l.heap = append(l.heap, e)
+	i := len(l.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !l.less(i, parent) {
+			break
+		}
+		l.heap[i], l.heap[parent] = l.heap[parent], l.heap[i]
+		i = parent
+	}
+}
+
+func (l *EventLoop) pop() event {
+	top := l.heap[0]
+	n := len(l.heap) - 1
+	l.heap[0] = l.heap[n]
+	l.heap[n] = event{}
+	l.heap = l.heap[:n]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && l.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && l.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		l.heap[i], l.heap[smallest] = l.heap[smallest], l.heap[i]
+		i = smallest
+	}
+	return top
+}
+
+func (l *EventLoop) less(i, j int) bool {
+	a, b := l.heap[i], l.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}

@@ -1,5 +1,7 @@
 package sim
 
+import "math"
+
 // Rand is a small deterministic pseudo-random source (SplitMix64 seeding
 // an xorshift128+ generator). Experiments must be reproducible run to
 // run, so nothing in the tree uses math/rand's global state.
@@ -69,3 +71,11 @@ func (r *Rand) Perm(n int) []int {
 
 // Bool returns true with probability p.
 func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// ExpFloat64 returns an exponentially distributed value with rate 1
+// (mean 1), by inversion. Traffic generators divide by their arrival
+// rate to draw Poisson inter-arrival gaps.
+func (r *Rand) ExpFloat64() float64 {
+	// 1-Float64() is in (0, 1], so the log is finite.
+	return -math.Log(1 - r.Float64())
+}

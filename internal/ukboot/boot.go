@@ -43,6 +43,23 @@ func LibInitCost(lib string) (uint64, bool) {
 	return c, ok
 }
 
+// ProfileLibs is the boot-time micro-library list an application
+// profile implies: lwip for NIC-bearing apps, the VFS stack, and
+// uksched when the profile declares a scheduler. The SDK's boot path
+// and the serving experiment both derive their Config.Libs from it, so
+// a pool instance charges exactly what a one-off Runtime.Run boots.
+func ProfileLibs(nics int, scheduler string) []string {
+	var libs []string
+	if nics > 0 {
+		libs = append(libs, "lwip")
+	}
+	libs = append(libs, "vfscore", "ramfs")
+	if scheduler != "" {
+		libs = append(libs, "uksched")
+	}
+	return libs
+}
+
 // Config describes one unikernel instance to boot.
 type Config struct {
 	// Platform selects the hypervisor/VMM model.
@@ -105,10 +122,43 @@ type VM struct {
 	Report    Report
 }
 
-// Boot runs the full pipeline on machine m and returns the booted VM.
-// All time costs are charged to m's clock; the Report additionally
-// itemizes them.
-func Boot(m *sim.Machine, cfg Config) (*VM, error) {
+// stepKind discriminates the precomputed steps a Context replays.
+type stepKind uint8
+
+const (
+	stepCharge    stepKind = iota // fixed cycle charge
+	stepChargeDur                 // fixed wall-duration charge
+	stepPageTable                 // build the guest page table
+	stepAlloc                     // initialize the heap allocator
+	stepSched                     // charge + create the scheduler
+)
+
+type ctxStep struct {
+	name   string
+	kind   stepKind
+	cycles uint64
+	dur    time.Duration
+}
+
+// Context is a reusable boot recipe: the config is validated once, the
+// memory layout and the ordered step list with their constructor costs
+// are precomputed, and each Boot call only replays the charges and runs
+// the genuinely stateful steps (page table, heap allocator, scheduler).
+// Booting a fleet of identical instances through one Context — what the
+// ukpool serving layer does for every warm or cold start — therefore
+// skips all per-boot validation, map lookups and closure allocation
+// while charging exactly the virtual time a one-off Boot would.
+type Context struct {
+	cfg       Config
+	vmmDurs   []time.Duration
+	steps     []ctxStep
+	regions   []ukplat.MemRegion
+	heapBytes int
+}
+
+// NewContext validates cfg (filling the stack-size and allocator
+// defaults) and precomputes the boot recipe.
+func NewContext(cfg Config) (*Context, error) {
 	if cfg.MemBytes <= 0 {
 		return nil, fmt.Errorf("ukboot: MemBytes must be positive")
 	}
@@ -118,125 +168,148 @@ func Boot(m *sim.Machine, cfg Config) (*VM, error) {
 	if cfg.Allocator == "" {
 		cfg.Allocator = "tlsf"
 	}
-	vm := &VM{Machine: m, Platform: cfg.Platform, Config: cfg}
+	c := &Context{cfg: cfg}
+
+	// VMM phase: monitor start plus per-NIC plumbing. Kept as separate
+	// durations so cycle rounding matches the one-off pipeline exactly.
+	c.vmmDurs = append(c.vmmDurs, cfg.Platform.VMMSetup)
+	for i := 0; i < cfg.NICs; i++ {
+		c.vmmDurs = append(c.vmmDurs, cfg.Platform.NICSetup)
+	}
+
+	charge := func(name string) {
+		cyc, ok := libInitCycles[name]
+		if !ok {
+			cyc = libInitCycles["misc"]
+		}
+		c.steps = append(c.steps, ctxStep{name: name, kind: stepCharge, cycles: cyc})
+	}
+
+	charge("plat")
+	if cfg.Platform.GuestExtra > 0 {
+		c.steps = append(c.steps, ctxStep{name: "plat-extra", kind: stepChargeDur, dur: cfg.Platform.GuestExtra})
+	}
+	c.steps = append(c.steps, ctxStep{name: "pagetable", kind: stepPageTable})
+
+	c.regions = ukplat.Layout(cfg.ImageBytes, cfg.MemBytes, cfg.StackBytes)
+	for _, r := range c.regions {
+		if r.Kind == ukplat.RegionHeap {
+			c.heapBytes = r.Bytes
+		}
+	}
+	c.steps = append(c.steps, ctxStep{name: "alloc:" + cfg.Allocator, kind: stepAlloc})
+
+	if cfg.NICs > 0 || cfg.Mount9pfs {
+		charge("ukbus")
+	}
+	for i := 0; i < cfg.NICs; i++ {
+		charge("virtio-net")
+	}
+	if cfg.Mount9pfs {
+		c.steps = append(c.steps, ctxStep{name: "9pfs", kind: stepChargeDur, dur: cfg.Platform.Mount9pfs})
+	}
+	for _, lib := range cfg.Libs {
+		if lib == "uksched" {
+			c.steps = append(c.steps, ctxStep{name: "uksched", kind: stepSched, cycles: libInitCycles["uksched"]})
+			continue
+		}
+		charge(lib)
+	}
+	charge("misc")
+	return c, nil
+}
+
+// Boot runs the precomputed pipeline on machine m and returns the
+// booted VM. All time costs are charged to m's clock; the Report
+// additionally itemizes them.
+func (c *Context) Boot(m *sim.Machine) (*VM, error) {
+	vm := &VM{Machine: m, Platform: c.cfg.Platform, Config: c.cfg, Regions: c.regions}
 
 	// --- VMM phase -----------------------------------------------------
 	vmmStart := m.CPU.Cycles()
-	m.ChargeDuration(cfg.Platform.VMMSetup)
-	for i := 0; i < cfg.NICs; i++ {
-		m.ChargeDuration(cfg.Platform.NICSetup)
+	for _, d := range c.vmmDurs {
+		m.ChargeDuration(d)
 	}
 	vm.Report.VMM = m.CPU.Duration(m.CPU.Cycles() - vmmStart)
 
 	// --- Guest phase ---------------------------------------------------
 	guestStart := m.CPU.Cycles()
-	step := func(name string, fn func() error) error {
+	vm.Report.Steps = make([]Step, 0, len(c.steps))
+	for _, st := range c.steps {
 		s := m.CPU.Cycles()
-		if fn != nil {
-			if err := fn(); err != nil {
-				return fmt.Errorf("ukboot: step %s: %w", name, err)
+		switch st.kind {
+		case stepCharge, stepSched:
+			m.Charge(st.cycles)
+			if st.kind == stepSched {
+				vm.Sched = uksched.New(c.cfg.Scheduler, m)
 			}
+		case stepChargeDur:
+			m.ChargeDuration(st.dur)
+		case stepPageTable:
+			pt, err := buildPageTable(m.Charge, c.cfg.PTMode, c.cfg.MemBytes)
+			if err != nil {
+				return nil, fmt.Errorf("ukboot: step %s: %w", st.name, err)
+			}
+			vm.PageTable = pt
+		case stepAlloc:
+			a, err := ukalloc.NewInitialized(c.cfg.Allocator, m, c.heapBytes)
+			if err != nil {
+				return nil, fmt.Errorf("ukboot: step %s: %w", st.name, err)
+			}
+			vm.Allocs.Register(a)
+			vm.Heap = a
 		}
 		vm.Report.Steps = append(vm.Report.Steps, Step{
-			Name:     name,
+			Name:     st.name,
 			Duration: m.CPU.Duration(m.CPU.Cycles() - s),
 		})
-		return nil
 	}
-	chargeLib := func(name string) func() error {
-		return func() error {
-			c, ok := libInitCycles[name]
-			if !ok {
-				c = libInitCycles["misc"]
-			}
-			m.Charge(c)
-			return nil
-		}
-	}
-
-	if err := step("plat", chargeLib("plat")); err != nil {
-		return nil, err
-	}
-	if cfg.Platform.GuestExtra > 0 {
-		if err := step("plat-extra", func() error {
-			m.ChargeDuration(cfg.Platform.GuestExtra)
-			return nil
-		}); err != nil {
-			return nil, err
-		}
-	}
-
-	if err := step("pagetable", func() error {
-		pt, err := buildPageTable(m.Charge, cfg.PTMode, cfg.MemBytes)
-		vm.PageTable = pt
-		return err
-	}); err != nil {
-		return nil, err
-	}
-
-	// Memory layout and heap allocator initialization over the real
-	// heap region.
-	vm.Regions = ukplat.Layout(cfg.ImageBytes, cfg.MemBytes, cfg.StackBytes)
-	var heapBytes int
-	for _, r := range vm.Regions {
-		if r.Kind == ukplat.RegionHeap {
-			heapBytes = r.Bytes
-		}
-	}
-	if err := step("alloc:"+cfg.Allocator, func() error {
-		a, err := ukalloc.NewInitialized(cfg.Allocator, m, heapBytes)
-		if err != nil {
-			return err
-		}
-		vm.Allocs.Register(a)
-		vm.Heap = a
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	if cfg.NICs > 0 || cfg.Mount9pfs {
-		if err := step("ukbus", chargeLib("ukbus")); err != nil {
-			return nil, err
-		}
-	}
-	for i := 0; i < cfg.NICs; i++ {
-		if err := step("virtio-net", chargeLib("virtio-net")); err != nil {
-			return nil, err
-		}
-	}
-	if cfg.Mount9pfs {
-		if err := step("9pfs", func() error {
-			m.ChargeDuration(cfg.Platform.Mount9pfs)
-			return nil
-		}); err != nil {
-			return nil, err
-		}
-	}
-
-	for _, lib := range cfg.Libs {
-		lib := lib
-		if lib == "uksched" {
-			if err := step("uksched", func() error {
-				m.Charge(libInitCycles["uksched"])
-				vm.Sched = uksched.New(cfg.Scheduler, m)
-				return nil
-			}); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		if err := step(lib, chargeLib(lib)); err != nil {
-			return nil, err
-		}
-	}
-
-	if err := step("misc", chargeLib("misc")); err != nil {
-		return nil, err
-	}
-
 	vm.Report.Guest = m.CPU.Duration(m.CPU.Cycles() - guestStart)
 	return vm, nil
+}
+
+// HeapBytes reports the size of the heap region instances booted from
+// this context manage.
+func (c *Context) HeapBytes() int { return c.heapBytes }
+
+// Boot runs the full pipeline on machine m and returns the booted VM.
+// All time costs are charged to m's clock; the Report additionally
+// itemizes them. One-off boots build a fresh Context; fleets should
+// build the Context once and call its Boot repeatedly.
+func Boot(m *sim.Machine, cfg Config) (*VM, error) {
+	c, err := NewContext(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.Boot(m)
+}
+
+// Reset recycles a booted VM into a pristine warm instance: the heap
+// allocator is re-initialized over the heap region, dropping every
+// guest allocation, and the re-init cost is charged to the machine.
+// That is orders of magnitude cheaper than a fresh boot (no VMM
+// instantiation, no page-table build, no driver constructors), which is
+// what makes keeping a warm pool worthwhile at all.
+func (vm *VM) Reset() error {
+	backend, err := ukalloc.ResolveBackend(vm.Config.Allocator)
+	if err != nil {
+		return fmt.Errorf("ukboot: reset: %w", err)
+	}
+	a, err := ukalloc.NewBackend(backend, vm.Machine)
+	if err != nil {
+		return fmt.Errorf("ukboot: reset: %w", err)
+	}
+	// Re-initialize over the existing arena: the guest's heap region
+	// does not move across a recycle, and reusing it keeps host-side
+	// reset cost at the allocator's metadata rebuild, not a fresh
+	// multi-megabyte allocation.
+	if err := a.Init(vm.Heap.Arena()); err != nil {
+		return fmt.Errorf("ukboot: reset: %w", err)
+	}
+	vm.Allocs = ukalloc.Registry{}
+	vm.Allocs.Register(a)
+	vm.Heap = a
+	return nil
 }
 
 // Close releases VM resources (scheduler goroutines).

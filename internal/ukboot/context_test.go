@@ -1,0 +1,100 @@
+package ukboot
+
+import (
+	"testing"
+
+	"unikraft/internal/sim"
+	"unikraft/internal/ukplat"
+)
+
+// TestContextBootMatchesBoot: a reusable Context must charge exactly
+// the virtual time a one-off Boot does, step for step, across repeated
+// boots — that equivalence is what lets the pool layer boot fleets
+// through one Context without skewing the paper's boot numbers.
+func TestContextBootMatchesBoot(t *testing.T) {
+	cfgs := []Config{
+		{Platform: ukplat.KVMQemu, MemBytes: 64 << 20, ImageBytes: 1 << 20, NICs: 1,
+			Libs: []string{"lwip", "vfscore", "ramfs"}},
+		{Platform: ukplat.KVMFirecracker, MemBytes: 8 << 20, ImageBytes: 512 << 10,
+			Allocator: "buddy", Mount9pfs: true},
+		{Platform: ukplat.Xen, MemBytes: 32 << 20, ImageBytes: 256 << 10,
+			PTMode: PTDynamic, Libs: []string{"vfscore"}},
+	}
+	for _, cfg := range cfgs {
+		ref, err := Boot(sim.NewMachine(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ref.Close()
+		ctx, err := NewContext(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 3; round++ {
+			vm, err := ctx.Boot(sim.NewMachine())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer vm.Close()
+			if vm.Report.VMM != ref.Report.VMM || vm.Report.Guest != ref.Report.Guest {
+				t.Errorf("%s round %d: context boot %v+%v, one-off %v+%v",
+					cfg.Platform.Name, round, vm.Report.VMM, vm.Report.Guest,
+					ref.Report.VMM, ref.Report.Guest)
+			}
+			if len(vm.Report.Steps) != len(ref.Report.Steps) {
+				t.Fatalf("%s: %d steps vs %d", cfg.Platform.Name,
+					len(vm.Report.Steps), len(ref.Report.Steps))
+			}
+			for i, s := range vm.Report.Steps {
+				if s != ref.Report.Steps[i] {
+					t.Errorf("%s step %d: %+v vs %+v", cfg.Platform.Name, i, s, ref.Report.Steps[i])
+				}
+			}
+		}
+	}
+}
+
+// TestVMReset: recycling must leave a usable pristine heap and cost far
+// less than a boot.
+func TestVMReset(t *testing.T) {
+	m := sim.NewMachine()
+	vm, err := Boot(m, Config{Platform: ukplat.KVMFirecracker, MemBytes: 8 << 20, ImageBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vm.Close()
+	bootCycles := m.CPU.Cycles()
+
+	// Dirty the heap, then lose the pointers (a tenant's garbage).
+	for i := 0; i < 100; i++ {
+		if _, err := vm.Heap.Malloc(4 << 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	used := vm.Heap.Stats().HeapBytes - vm.Heap.Stats().FreeBytes
+
+	start := m.CPU.Cycles()
+	if err := vm.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	resetCycles := m.CPU.Cycles() - start
+	if resetCycles == 0 {
+		t.Error("reset charged nothing; heap re-init has a real cost")
+	}
+	if resetCycles*10 > bootCycles {
+		t.Errorf("reset cost %d cycles, want <10%% of the %d-cycle boot", resetCycles, bootCycles)
+	}
+	if vm.Heap.Stats().Mallocs != 0 {
+		t.Error("reset heap still carries old counters")
+	}
+	fresh := vm.Heap.Stats().HeapBytes - vm.Heap.Stats().FreeBytes
+	if fresh >= used {
+		t.Errorf("reset did not reclaim the heap: %d used before, %d after", used, fresh)
+	}
+	if _, err := vm.Heap.Malloc(1 << 10); err != nil {
+		t.Errorf("allocation on reset heap failed: %v", err)
+	}
+	if vm.Allocs.Default() != vm.Heap {
+		t.Error("registry default not rewired to the reset heap")
+	}
+}

@@ -1,0 +1,124 @@
+// Package ukpool is the warm-pool serving layer: it turns the paper's
+// millisecond boot times into served traffic. A Pool keeps a set of
+// pre-booted ("warm") unikernel instances of one spec, boots cold
+// instances on demand when arrivals outrun the warm set, routes a
+// request stream to instances over a deterministic virtual-time event
+// loop, and autoscales the warm set from the observed arrival rate and
+// tail latency — the LightVM/Firecracker serverless story on top of the
+// Unikraft boot pipeline.
+package ukpool
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// histBuckets bounds the log-scale bucket index space: 8 sub-buckets
+// per power of two over nanosecond values up to ~2^60ns covers every
+// duration the simulator can produce.
+const (
+	histSubBits = 3 // 8 sub-buckets per octave: ~12% resolution
+	histBuckets = 1 << (6 + histSubBits)
+)
+
+// Histogram is a log-bucketed latency histogram (HdrHistogram-style,
+// integer-only so runs are bit-for-bit reproducible): ~12% relative
+// resolution from 1ns to decades of virtual time, with O(1) record and
+// O(buckets) percentile queries.
+type Histogram struct {
+	Count    uint64
+	Sum      time.Duration
+	MinV     time.Duration
+	MaxV     time.Duration
+	counts   [histBuckets]uint32
+	overflow uint64
+}
+
+func bucketOf(v uint64) int {
+	if v < 1<<histSubBits {
+		return int(v)
+	}
+	k := uint(bits.Len64(v)) - 1
+	sub := (v >> (k - histSubBits)) & (1<<histSubBits - 1)
+	return int((k-histSubBits+1)<<histSubBits) + int(sub)
+}
+
+// bucketLow is the inverse of bucketOf: the smallest value mapping to
+// bucket i.
+func bucketLow(i int) uint64 {
+	if i < 1<<histSubBits {
+		return uint64(i)
+	}
+	k := uint(i>>histSubBits) + histSubBits - 1
+	sub := uint64(i & (1<<histSubBits - 1))
+	return 1<<k | sub<<(k-histSubBits)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if h.Count == 0 || d < h.MinV {
+		h.MinV = d
+	}
+	if d > h.MaxV {
+		h.MaxV = d
+	}
+	h.Count++
+	h.Sum += d
+	i := bucketOf(uint64(d))
+	if i >= histBuckets {
+		h.overflow++
+		return
+	}
+	h.counts[i]++
+}
+
+// Mean reports the average observation, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// Quantile reports the value at quantile q in [0, 1] (bucket lower
+// bound, so within ~12% of exact). Quantile(0.5) is the median.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.Count-1))
+	var seen uint64
+	for i, c := range h.counts {
+		seen += uint64(c)
+		if seen > rank {
+			lo := time.Duration(bucketLow(i))
+			if lo < h.MinV {
+				lo = h.MinV
+			}
+			if lo > h.MaxV {
+				lo = h.MaxV
+			}
+			return lo
+		}
+	}
+	return h.MaxV
+}
+
+// String renders the five-number summary used in reports.
+func (h *Histogram) String() string {
+	if h.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%v p50=%v p90=%v p99=%v max=%v",
+		h.Count, h.MinV, h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.MaxV)
+}

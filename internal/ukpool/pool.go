@@ -1,0 +1,601 @@
+package ukpool
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"unikraft/internal/sim"
+	"unikraft/internal/ukboot"
+)
+
+// BootFunc boots one fresh instance on its own simulated machine. The
+// id is unique per instance for the pool's lifetime, so implementations
+// can derive deterministic per-instance seeds from it. Called from
+// multiple goroutines during batched scale-ups; each call must use its
+// own machine.
+type BootFunc func(id int) (*ukboot.VM, error)
+
+// Config tunes a Pool. The zero value is not useful; New fills every
+// unset field with the defaults documented per field.
+type Config struct {
+	// MinWarm is the floor of pre-booted instances (default 8). Serve
+	// boots up to it before admitting traffic and the autoscaler never
+	// shrinks below it.
+	MinWarm int
+	// MaxInstances caps the fleet, warm and busy together (default
+	// 1024). Arrivals beyond the cap queue instead of cold-booting.
+	MaxInstances int
+	// ColdBurst bounds cold boots in flight at once (default 32). A
+	// miss beyond it queues instead of booting: with multi-millisecond
+	// boots, unbounded demand-driven boots would storm the fleet to its
+	// cap before the first instance comes up. Growing past the burst
+	// allowance is the autoscaler's job.
+	ColdBurst int
+	// SyscallsPerRequest is the number of shim-translated syscalls an
+	// instance issues per request (default 4: read, work, write, close).
+	SyscallsPerRequest int
+	// AppCycles is the application-level work per request in CPU cycles
+	// (default 12000, ~3.3us at 3.6GHz).
+	AppCycles uint64
+	// RecycleEvery resets an instance's heap after this many served
+	// requests (default 4096; 0 disables recycling).
+	RecycleEvery int
+	// ScaleWindow is the autoscaler's observation window and tick
+	// period (default 50ms of virtual time).
+	ScaleWindow time.Duration
+	// TargetP99 is the request-latency SLO; a window whose p99 exceeds
+	// it triggers a scale-up regardless of utilization (default 2ms).
+	TargetP99 time.Duration
+	// Headroom multiplies the Little's-law concurrency estimate
+	// (arrival rate x mean service time) when sizing the warm set
+	// (default 2.0).
+	Headroom float64
+	// Autoscale enables the rate/latency-driven warm-set controller
+	// (default on; DisableAutoscale turns it off).
+	Autoscale bool
+	// PerRequestHeap makes every request malloc/free its payload buffer
+	// on the instance's real heap allocator (default on).
+	PerRequestHeap bool
+}
+
+// Option adjusts a Config.
+type Option func(*Config)
+
+// WithWarm sets the warm-instance floor.
+func WithWarm(n int) Option { return func(c *Config) { c.MinWarm = n } }
+
+// WithMaxInstances caps the fleet size.
+func WithMaxInstances(n int) Option { return func(c *Config) { c.MaxInstances = n } }
+
+// WithColdBurst bounds demand-driven cold boots in flight at once.
+func WithColdBurst(n int) Option { return func(c *Config) { c.ColdBurst = n } }
+
+// WithServiceCost sets the per-request cost model: syscall count and
+// application cycles.
+func WithServiceCost(syscalls int, appCycles uint64) Option {
+	return func(c *Config) {
+		c.SyscallsPerRequest = syscalls
+		c.AppCycles = appCycles
+	}
+}
+
+// WithRecycleEvery resets an instance's heap after n served requests
+// (0 disables).
+func WithRecycleEvery(n int) Option { return func(c *Config) { c.RecycleEvery = n } }
+
+// WithScaleWindow sets the autoscaler tick period.
+func WithScaleWindow(d time.Duration) Option { return func(c *Config) { c.ScaleWindow = d } }
+
+// WithTargetP99 sets the latency SLO driving scale-ups.
+func WithTargetP99(d time.Duration) Option { return func(c *Config) { c.TargetP99 = d } }
+
+// WithHeadroom sets the warm-set capacity margin.
+func WithHeadroom(h float64) Option { return func(c *Config) { c.Headroom = h } }
+
+// DisableAutoscale pins the warm set at MinWarm (cold boots still
+// happen on demand up to MaxInstances).
+func DisableAutoscale() Option { return func(c *Config) { c.Autoscale = false } }
+
+// DisablePerRequestHeap turns off the per-request malloc/free on the
+// instance heap (pure cost-model service time).
+func DisablePerRequestHeap() Option { return func(c *Config) { c.PerRequestHeap = false } }
+
+// instance is one booted unikernel in the fleet.
+type instance struct {
+	id      int
+	vm      *ukboot.VM
+	bootDur time.Duration
+	served  int // requests since the last heap reset
+}
+
+// Pool keeps a fleet of instances of one spec and serves request
+// streams through it. All methods are safe for concurrent use;
+// concurrent Serve calls serialize on the pool's fleet.
+type Pool struct {
+	cfg  Config
+	boot BootFunc
+
+	mu     sync.Mutex
+	nextID int
+	fleet  []*instance // every live instance
+	idle   []*instance // subset currently idle (LIFO for cache warmth)
+	closed bool
+}
+
+// New builds a pool over boot. No instances are booted until Serve (or
+// Prewarm) runs.
+func New(boot BootFunc, opts ...Option) *Pool {
+	cfg := Config{
+		MinWarm:            8,
+		MaxInstances:       1024,
+		ColdBurst:          32,
+		SyscallsPerRequest: 4,
+		AppCycles:          12_000,
+		RecycleEvery:       4096,
+		ScaleWindow:        50 * time.Millisecond,
+		TargetP99:          2 * time.Millisecond,
+		Headroom:           2.0,
+		Autoscale:          true,
+		PerRequestHeap:     true,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.MinWarm < 1 {
+		cfg.MinWarm = 1
+	}
+	if cfg.MaxInstances < cfg.MinWarm {
+		cfg.MaxInstances = cfg.MinWarm
+	}
+	if cfg.ScaleWindow <= 0 {
+		cfg.ScaleWindow = 50 * time.Millisecond
+	}
+	if cfg.Headroom < 1 {
+		cfg.Headroom = 1
+	}
+	if cfg.ColdBurst < 1 {
+		cfg.ColdBurst = 1
+	}
+	return &Pool{cfg: cfg, boot: boot}
+}
+
+// Size reports the live fleet size (idle + busy).
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.fleet)
+}
+
+// Idle reports the number of idle warm instances.
+func (p *Pool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle)
+}
+
+// Close retires every instance. The pool must not be serving.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, inst := range p.fleet {
+		inst.vm.Close()
+	}
+	p.fleet, p.idle, p.closed = nil, nil, true
+}
+
+// Report is the outcome of one Serve run.
+type Report struct {
+	// Requests is the number of requests served (all of them: the pool
+	// never drops, it queues).
+	Requests int
+	// WarmHits counts requests dispatched immediately to an idle warm
+	// instance; ColdBoots counts requests that paid a full boot;
+	// Queued counts requests that waited for an instance to free up.
+	WarmHits, ColdBoots, Queued int
+	// Resets counts warm-instance heap recycles; Retired counts
+	// instances the autoscaler shut down.
+	Resets, Retired int
+	// ScaleUps and ScaleDowns count autoscaler resize decisions.
+	ScaleUps, ScaleDowns int
+	// PeakInstances is the largest fleet observed; FinalInstances the
+	// fleet left warm when the trace drained.
+	PeakInstances, FinalInstances int
+	// Duration is the virtual makespan: first arrival to last
+	// completion.
+	Duration time.Duration
+	// Boot holds per-boot total times (prewarm, cold and scale-up
+	// boots); Latency holds end-to-end request latencies (queue wait +
+	// boot wait + service).
+	Boot Histogram
+	// Latency holds end-to-end request latencies.
+	Latency Histogram
+}
+
+// WarmHitRatio is WarmHits / Requests, the pool's headline number.
+func (r *Report) WarmHitRatio() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.WarmHits) / float64(r.Requests)
+}
+
+// Throughput is Requests per second of virtual makespan.
+func (r *Report) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Duration.Seconds()
+}
+
+// String renders the multi-line summary ukserve prints.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"served   %d requests in %v (%.0f req/s)\n"+
+			"routing  warm=%d (%.2f%%) cold=%d queued=%d\n"+
+			"fleet    peak=%d final=%d scale-ups=%d scale-downs=%d retired=%d resets=%d\n"+
+			"boot     %v\n"+
+			"latency  %v",
+		r.Requests, r.Duration.Round(time.Microsecond), r.Throughput(),
+		r.WarmHits, 100*r.WarmHitRatio(), r.ColdBoots, r.Queued,
+		r.PeakInstances, r.FinalInstances, r.ScaleUps, r.ScaleDowns, r.Retired, r.Resets,
+		&r.Boot, &r.Latency)
+}
+
+// serveState is the per-Serve bookkeeping threaded through the event
+// callbacks.
+type serveState struct {
+	loop  *sim.EventLoop
+	w     Workload
+	wDone bool
+	rep   *Report
+	err   error
+
+	busy    int
+	booting int // cold + scale-up boots in flight
+	queue   []Request
+	lastEnd time.Duration
+
+	// autoscaler window
+	winArrivals int
+	winLat      Histogram
+	ewmaService time.Duration
+}
+
+// Prewarm boots the fleet up to n instances (batched, concurrently),
+// recording nothing. Serve prewarms to MinWarm automatically; callers
+// that want boot costs off the serving path can prewarm larger sets
+// explicitly.
+func (p *Pool) Prewarm(n int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("ukpool: prewarm on closed pool")
+	}
+	insts, err := p.bootBatch(n - len(p.fleet))
+	if err != nil {
+		return err
+	}
+	p.idle = append(p.idle, insts...)
+	return nil
+}
+
+// Serve routes every request of w through the fleet on a fresh
+// virtual-time event loop and reports what happened. Warm instances
+// serve immediately; misses cold-boot (paying the full boot pipeline on
+// a fresh per-instance machine) up to MaxInstances, beyond which
+// requests queue FIFO. The autoscaler resizes the warm set every
+// ScaleWindow from the observed arrival rate, mean service time and
+// window p99.
+//
+// Serve is deterministic: same workload, same config, same report.
+// Concurrent Serve calls are safe and serialize.
+func (p *Pool) Serve(w Workload) (*Report, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("ukpool: serve on closed pool")
+	}
+
+	st := &serveState{loop: sim.NewEventLoop(), w: w, rep: &Report{}}
+
+	// Warm floor first, so steady traffic starts against a warm fleet.
+	insts, err := p.bootBatch(p.cfg.MinWarm - len(p.fleet))
+	if err != nil {
+		return nil, err
+	}
+	for _, inst := range insts {
+		st.rep.Boot.Record(inst.bootDur)
+	}
+	p.idle = append(p.idle, insts...)
+	st.rep.PeakInstances = len(p.fleet)
+
+	p.scheduleArrival(st)
+	if p.cfg.Autoscale {
+		st.loop.After(p.cfg.ScaleWindow, func(now time.Duration) { p.tick(st, now) })
+	}
+	st.loop.Run()
+
+	st.rep.Duration = st.lastEnd
+	st.rep.FinalInstances = len(p.fleet)
+	if st.err != nil {
+		return st.rep, st.err
+	}
+	return st.rep, nil
+}
+
+// scheduleArrival pulls the next request off the workload and schedules
+// its arrival event.
+func (p *Pool) scheduleArrival(st *serveState) {
+	if st.err != nil {
+		st.wDone = true
+		return
+	}
+	req, ok := st.w.Next()
+	if !ok {
+		st.wDone = true
+		return
+	}
+	st.loop.At(req.Arrival, func(now time.Duration) { p.arrive(st, req, now) })
+}
+
+// arrive routes one request: warm hit, cold boot, or queue.
+func (p *Pool) arrive(st *serveState, req Request, now time.Duration) {
+	st.rep.Requests++
+	st.winArrivals++
+	switch {
+	case len(p.idle) > 0:
+		inst := p.takeIdle()
+		st.rep.WarmHits++
+		p.startService(st, inst, req, now)
+	case len(p.fleet) < p.cfg.MaxInstances && st.booting < p.cfg.ColdBurst:
+		st.rep.ColdBoots++
+		inst, err := p.bootOne()
+		if err != nil {
+			st.err = fmt.Errorf("ukpool: cold boot: %w", err)
+			break
+		}
+		st.rep.Boot.Record(inst.bootDur)
+		if len(p.fleet) > st.rep.PeakInstances {
+			st.rep.PeakInstances = len(p.fleet)
+		}
+		st.booting++
+		st.loop.At(now+inst.bootDur, func(ready time.Duration) {
+			st.booting--
+			p.startService(st, inst, req, ready)
+		})
+	default:
+		st.rep.Queued++
+		st.queue = append(st.queue, req)
+	}
+	p.scheduleArrival(st)
+}
+
+// startService charges the request's work to the instance's own CPU and
+// schedules the completion.
+func (p *Pool) startService(st *serveState, inst *instance, req Request, now time.Duration) {
+	svc := p.serviceTime(inst, req.Bytes)
+	st.busy++
+	done := now + svc
+	lat := done - req.Arrival // queue wait + boot wait + service
+	st.loop.At(done, func(end time.Duration) {
+		st.busy--
+		if end > st.lastEnd {
+			st.lastEnd = end
+		}
+		st.rep.Latency.Record(lat)
+		st.winLat.Record(lat)
+		// EWMA of service time feeds the autoscaler's Little's-law
+		// estimate (alpha = 1/8).
+		if st.ewmaService == 0 {
+			st.ewmaService = svc
+		} else {
+			st.ewmaService += (svc - st.ewmaService) / 8
+		}
+		p.finishInstance(st, inst, end)
+	})
+}
+
+// finishInstance recycles the instance if due, then dispatches it. The
+// heap re-init is charged to the instance clock AND delays its next
+// dispatch by the same amount on the shared timeline — a recycling
+// instance is not serving.
+func (p *Pool) finishInstance(st *serveState, inst *instance, now time.Duration) {
+	inst.served++
+	if p.cfg.RecycleEvery > 0 && inst.served >= p.cfg.RecycleEvery {
+		m := inst.vm.Machine
+		start := m.CPU.Cycles()
+		if err := inst.vm.Reset(); err != nil {
+			st.err = fmt.Errorf("ukpool: recycle instance %d: %w", inst.id, err)
+			return
+		}
+		inst.served = 0
+		st.rep.Resets++
+		resetDur := m.CPU.Duration(m.CPU.Cycles() - start)
+		st.booting++ // out of rotation until the re-init completes
+		st.loop.At(now+resetDur, func(ready time.Duration) {
+			st.booting--
+			p.dispatch(st, inst, ready)
+		})
+		return
+	}
+	p.dispatch(st, inst, now)
+}
+
+// serviceTime performs one request's work on the instance: syscalls
+// through the shim, two virtqueue kicks, payload copies in and out,
+// the application cycles, and (by default) a real malloc/free of the
+// payload buffer on the instance heap.
+func (p *Pool) serviceTime(inst *instance, bytes int) time.Duration {
+	m := inst.vm.Machine
+	start := m.CPU.Cycles()
+	m.Charge(uint64(p.cfg.SyscallsPerRequest)*m.Costs.UnikraftSyscall +
+		2*m.Costs.VMExit + p.cfg.AppCycles)
+	m.ChargeCopy(bytes) // rx
+	m.ChargeCopy(bytes) // tx
+	if p.cfg.PerRequestHeap && bytes > 0 {
+		if ptr, err := inst.vm.Heap.Malloc(bytes); err == nil {
+			_ = inst.vm.Heap.Free(ptr)
+		}
+	}
+	return m.CPU.Duration(m.CPU.Cycles() - start)
+}
+
+// tick is one autoscaler evaluation: size the warm set from the
+// window's arrival rate and the service-time EWMA (Little's law with
+// headroom), and override upward when the window p99 blows the SLO.
+func (p *Pool) tick(st *serveState, now time.Duration) {
+	if st.err != nil {
+		return // the serve run is failing; stop resizing and let it drain
+	}
+	rate := float64(st.winArrivals) / p.cfg.ScaleWindow.Seconds()
+	desired := p.cfg.MinWarm
+	if st.ewmaService > 0 {
+		need := int(math.Ceil(rate * st.ewmaService.Seconds() * p.cfg.Headroom))
+		if need > desired {
+			desired = need
+		}
+	}
+	if st.winLat.Count > 0 && p.cfg.TargetP99 > 0 && st.winLat.Quantile(0.99) > p.cfg.TargetP99 {
+		grow := len(p.fleet) + (len(p.fleet)+1)/2
+		if grow > desired {
+			desired = grow
+		}
+	}
+	if desired > p.cfg.MaxInstances {
+		desired = p.cfg.MaxInstances
+	}
+
+	switch {
+	case desired > len(p.fleet):
+		st.rep.ScaleUps++
+		insts, err := p.bootBatch(desired - len(p.fleet))
+		if err != nil {
+			st.err = fmt.Errorf("ukpool: scale-up: %w", err)
+			return
+		}
+		for _, inst := range insts {
+			inst := inst
+			st.rep.Boot.Record(inst.bootDur)
+			st.booting++
+			st.loop.At(now+inst.bootDur, func(ready time.Duration) {
+				st.booting--
+				p.dispatch(st, inst, ready)
+			})
+		}
+		if len(p.fleet) > st.rep.PeakInstances {
+			st.rep.PeakInstances = len(p.fleet)
+		}
+	case desired < len(p.fleet) && len(p.idle) > 0:
+		n := len(p.fleet) - desired
+		if n > len(p.idle) {
+			n = len(p.idle)
+		}
+		st.rep.ScaleDowns++
+		for i := 0; i < n; i++ {
+			p.retire(p.takeColdest())
+			st.rep.Retired++
+		}
+	}
+
+	st.winArrivals = 0
+	st.winLat = Histogram{}
+	if !st.wDone || st.busy > 0 || st.booting > 0 || len(st.queue) > 0 {
+		st.loop.After(p.cfg.ScaleWindow, func(t time.Duration) { p.tick(st, t) })
+	}
+}
+
+// dispatch routes a ready instance: the oldest queued request if any
+// are waiting, else back to the warm set.
+func (p *Pool) dispatch(st *serveState, inst *instance, now time.Duration) {
+	if len(st.queue) > 0 {
+		req := st.queue[0]
+		st.queue = st.queue[1:]
+		p.startService(st, inst, req, now)
+		return
+	}
+	p.idle = append(p.idle, inst)
+}
+
+// takeIdle pops the most recently idled instance (LIFO keeps the hot
+// few instances hot and lets the tail go cold for retirement).
+func (p *Pool) takeIdle() *instance {
+	inst := p.idle[len(p.idle)-1]
+	p.idle = p.idle[:len(p.idle)-1]
+	return inst
+}
+
+// takeColdest pops the longest-idle instance — the retirement end of
+// the stack.
+func (p *Pool) takeColdest() *instance {
+	inst := p.idle[0]
+	p.idle = p.idle[1:]
+	return inst
+}
+
+// retire removes inst from the fleet and releases its resources.
+func (p *Pool) retire(inst *instance) {
+	for i, x := range p.fleet {
+		if x == inst {
+			p.fleet[i] = p.fleet[len(p.fleet)-1]
+			p.fleet = p.fleet[:len(p.fleet)-1]
+			break
+		}
+	}
+	inst.vm.Close()
+}
+
+// bootOne boots a single instance and adds it to the fleet (not idle:
+// the caller owns routing it).
+func (p *Pool) bootOne() (*instance, error) {
+	id := p.nextID
+	p.nextID++
+	vm, err := p.boot(id)
+	if err != nil {
+		return nil, err
+	}
+	inst := &instance{id: id, vm: vm, bootDur: vm.Report.Total()}
+	p.fleet = append(p.fleet, inst)
+	return inst, nil
+}
+
+// bootBatch boots n instances concurrently, one goroutine per instance
+// on its own machine — the batched scale-up path. Instances are added
+// to the fleet in id order so runs stay deterministic. On any failure
+// the successful boots are closed and the first error returned.
+func (p *Pool) bootBatch(n int) ([]*instance, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	insts := make([]*instance, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		id := p.nextID
+		p.nextID++
+		wg.Add(1)
+		go func(slot, id int) {
+			defer wg.Done()
+			vm, err := p.boot(id)
+			if err != nil {
+				errs[slot] = err
+				return
+			}
+			insts[slot] = &instance{id: id, vm: vm, bootDur: vm.Report.Total()}
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, inst := range insts {
+				if inst != nil {
+					inst.vm.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	p.fleet = append(p.fleet, insts...)
+	return insts, nil
+}

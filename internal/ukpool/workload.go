@@ -1,0 +1,126 @@
+package ukpool
+
+import (
+	"time"
+
+	"unikraft/internal/sim"
+)
+
+// Request is one unit of offered load: when it arrives on the pool's
+// virtual timeline and how many payload bytes the instance copies in
+// and back out while serving it.
+type Request struct {
+	Arrival time.Duration
+	Bytes   int
+}
+
+// Workload is a stream of requests in non-decreasing arrival order.
+// Generators are pull-based iterators so traces of millions of requests
+// never materialize in memory.
+type Workload interface {
+	// Next returns the next request, or ok=false when the trace ends.
+	Next() (req Request, ok bool)
+}
+
+// Poisson is an open-loop Poisson arrival process: exponential
+// inter-arrival gaps at a fixed mean rate, the standard model for
+// aggregate request traffic from many independent users.
+type Poisson struct {
+	rnd   *sim.Rand
+	rate  float64 // arrivals per second
+	bytes int
+	n     int
+	i     int
+	now   time.Duration
+}
+
+// NewPoisson returns n requests of size bytes arriving at rate
+// requests/second, deterministically derived from seed.
+func NewPoisson(seed uint64, rate float64, n, bytes int) *Poisson {
+	if rate <= 0 {
+		rate = 1
+	}
+	return &Poisson{rnd: sim.NewRand(seed), rate: rate, bytes: bytes, n: n}
+}
+
+// Next implements Workload.
+func (p *Poisson) Next() (Request, bool) {
+	if p.i >= p.n {
+		return Request{}, false
+	}
+	p.i++
+	gap := p.rnd.ExpFloat64() / p.rate * float64(time.Second)
+	p.now += time.Duration(gap)
+	return Request{Arrival: p.now, Bytes: p.bytes}, true
+}
+
+// Bursty is an on/off modulated Poisson process: within each period the
+// first duty fraction runs at burstRate, the remainder at baseRate.
+// Bursts are what exercise cold boots and the autoscaler — steady
+// Poisson traffic barely leaves the warm set.
+type Bursty struct {
+	rnd                 *sim.Rand
+	baseRate, burstRate float64
+	period              time.Duration
+	duty                float64
+	bytes               int
+	n                   int
+	i                   int
+	now                 time.Duration
+}
+
+// NewBursty returns n requests of size bytes with the given on/off
+// rates, period and burst duty cycle in (0, 1), derived from seed.
+func NewBursty(seed uint64, baseRate, burstRate float64, period time.Duration, duty float64, n, bytes int) *Bursty {
+	if baseRate <= 0 {
+		baseRate = 1
+	}
+	if burstRate < baseRate {
+		burstRate = baseRate
+	}
+	if period <= 0 {
+		period = time.Second
+	}
+	if duty <= 0 || duty >= 1 {
+		duty = 0.1
+	}
+	return &Bursty{
+		rnd: sim.NewRand(seed), baseRate: baseRate, burstRate: burstRate,
+		period: period, duty: duty, bytes: bytes, n: n,
+	}
+}
+
+// Next implements Workload.
+func (b *Bursty) Next() (Request, bool) {
+	if b.i >= b.n {
+		return Request{}, false
+	}
+	b.i++
+	rate := b.baseRate
+	if b.now%b.period < time.Duration(b.duty*float64(b.period)) {
+		rate = b.burstRate
+	}
+	gap := b.rnd.ExpFloat64() / rate * float64(time.Second)
+	b.now += time.Duration(gap)
+	return Request{Arrival: b.now, Bytes: b.bytes}, true
+}
+
+// Trace replays a fixed request slice — unit tests script exact arrival
+// patterns with it.
+type Trace struct {
+	reqs []Request
+	i    int
+}
+
+// NewTrace wraps reqs (which must already be sorted by arrival).
+func NewTrace(reqs []Request) *Trace { return &Trace{reqs: reqs} }
+
+// Next implements Workload.
+func (t *Trace) Next() (Request, bool) {
+	if t.i >= len(t.reqs) {
+		return Request{}, false
+	}
+	r := t.reqs[t.i]
+	t.i++
+	return r, true
+}

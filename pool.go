@@ -1,0 +1,122 @@
+package unikraft
+
+import (
+	"hash/fnv"
+	"time"
+
+	"unikraft/internal/sim"
+	"unikraft/internal/ukboot"
+	"unikraft/internal/ukbuild"
+	"unikraft/internal/ukpool"
+)
+
+// Pool is the warm-pool serving layer: a fleet of pre-booted instances
+// of one Spec that serves request streams, cold-booting on demand and
+// autoscaling the warm set — see Runtime.NewPool.
+type Pool = ukpool.Pool
+
+// PoolOption tunes a Pool at construction (WithWarm, WithMaxInstances,
+// WithServiceCost, ...).
+type PoolOption = ukpool.Option
+
+// ServeReport is the outcome of one Pool.Serve run: throughput,
+// warm/cold routing counts, autoscaler activity, and boot-time and
+// request-latency histograms.
+type ServeReport = ukpool.Report
+
+// ServeHistogram is the log-bucketed latency histogram inside a
+// ServeReport.
+type ServeHistogram = ukpool.Histogram
+
+// Workload is a stream of requests for Pool.Serve, in arrival order.
+type Workload = ukpool.Workload
+
+// Request is one unit of offered load.
+type Request = ukpool.Request
+
+// NewPool builds a serving pool for the spec: the image is linked once,
+// the boot pipeline is pre-validated into a reusable ukboot.Context,
+// and every instance then boots from that context on its own simulated
+// machine (seeded deterministically per instance, derived from the
+// spec). No instances boot until Serve or Prewarm.
+//
+//	rt := unikraft.NewRuntime()
+//	pool, err := rt.NewPool(unikraft.NewSpec("nginx", unikraft.WithVMM("firecracker")),
+//	    unikraft.WithWarm(16))
+//	report, err := pool.Serve(unikraft.PoissonWorkload(1, 200_000, 1_000_000, 256))
+//	fmt.Println(report)
+func (rt *Runtime) NewPool(s Spec, opts ...PoolOption) (*Pool, error) {
+	r, err := rt.resolve(s)
+	if err != nil {
+		return nil, err
+	}
+	img, err := ukbuild.Build(rt.Catalog(), r.profile, r.platform.Name, r.build)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := ukboot.NewContext(rt.bootConfig(r, s, img.Bytes))
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	h.Write([]byte(s.String()))
+	seed := h.Sum64()
+	boot := func(id int) (*ukboot.VM, error) {
+		// SplitMix64 increment keeps per-instance seeds well spread.
+		return ctx.Boot(sim.NewMachineWithSeed(seed + uint64(id)*0x9E3779B97F4A7C15))
+	}
+	return ukpool.New(boot, opts...), nil
+}
+
+// PoissonWorkload is an open-loop Poisson arrival process: n requests
+// of size bytes at rate requests/second, derived from seed.
+func PoissonWorkload(seed uint64, rate float64, n, bytes int) Workload {
+	return ukpool.NewPoisson(seed, rate, n, bytes)
+}
+
+// BurstyWorkload is an on/off modulated Poisson process: within each
+// period the first duty fraction runs at burstRate, the rest at
+// baseRate — the trace shape that exercises cold boots and the
+// autoscaler.
+func BurstyWorkload(seed uint64, baseRate, burstRate float64, period time.Duration, duty float64, n, bytes int) Workload {
+	return ukpool.NewBursty(seed, baseRate, burstRate, period, duty, n, bytes)
+}
+
+// TraceWorkload replays a fixed request slice (sorted by arrival).
+func TraceWorkload(reqs []Request) Workload { return ukpool.NewTrace(reqs) }
+
+// WithWarm sets the pool's warm-instance floor (default 8).
+func WithWarm(n int) PoolOption { return ukpool.WithWarm(n) }
+
+// WithMaxInstances caps the pool's fleet size (default 1024).
+func WithMaxInstances(n int) PoolOption { return ukpool.WithMaxInstances(n) }
+
+// WithColdBurst bounds demand-driven cold boots in flight at once
+// (default 32); misses beyond it queue for the autoscaler to fix.
+func WithColdBurst(n int) PoolOption { return ukpool.WithColdBurst(n) }
+
+// WithServiceCost sets the per-request cost model: shim syscall count
+// and application cycles.
+func WithServiceCost(syscalls int, appCycles uint64) PoolOption {
+	return ukpool.WithServiceCost(syscalls, appCycles)
+}
+
+// WithRecycleEvery resets an instance's heap after n served requests
+// (default 4096; 0 disables).
+func WithRecycleEvery(n int) PoolOption { return ukpool.WithRecycleEvery(n) }
+
+// WithScaleWindow sets the autoscaler tick period (default 50ms of
+// virtual time).
+func WithScaleWindow(d time.Duration) PoolOption { return ukpool.WithScaleWindow(d) }
+
+// WithTargetP99 sets the latency SLO that triggers scale-ups (default
+// 2ms).
+func WithTargetP99(d time.Duration) PoolOption { return ukpool.WithTargetP99(d) }
+
+// WithHeadroom sets the autoscaler's capacity margin over the
+// Little's-law estimate (default 2.0).
+func WithHeadroom(h float64) PoolOption { return ukpool.WithHeadroom(h) }
+
+// DisableAutoscale pins the warm set at the floor; cold boots still
+// happen on demand.
+func DisableAutoscale() PoolOption { return ukpool.DisableAutoscale() }

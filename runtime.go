@@ -173,6 +173,9 @@ func (rt *Runtime) resolve(s Spec) (resolved, error) {
 	if s.MemBytes < 0 {
 		return r, fmt.Errorf("unikraft: memory must not be negative, got %d (0 means the 64 MiB default)", s.MemBytes)
 	}
+	if s.StackBytes < 0 {
+		return r, fmt.Errorf("unikraft: stack size must not be negative, got %d (0 means the 64 KiB default)", s.StackBytes)
+	}
 	r.mem = s.MemBytes
 	if r.mem == 0 {
 		r.mem = 64 << 20
@@ -228,6 +231,27 @@ func (in *Instance) Close() {
 	}
 }
 
+// bootConfig turns a resolved spec plus its linked image size into the
+// ukboot pipeline configuration. Run boots it once; NewPool builds a
+// reusable ukboot.Context from it and boots fleets.
+func (rt *Runtime) bootConfig(r resolved, s Spec, imageBytes int) ukboot.Config {
+	cfg := ukboot.Config{
+		Platform:   r.platform,
+		MemBytes:   r.mem,
+		StackBytes: s.StackBytes,
+		ImageBytes: imageBytes,
+		PTMode:     ukboot.PTStatic,
+		Allocator:  r.backend,
+		NICs:       r.profile.NICs,
+		Mount9pfs:  s.Mount9pfs,
+	}
+	if s.DynamicPageTable {
+		cfg.PTMode = ukboot.PTDynamic
+	}
+	cfg.Libs = append(ukboot.ProfileLibs(r.profile.NICs, r.profile.Scheduler), s.ExtraLibs...)
+	return cfg
+}
+
 // Run builds the spec's image and boots it on a fresh simulated machine
 // — the whole pipeline in one call. The caller must Close the instance.
 func (rt *Runtime) Run(s Spec) (*Instance, error) {
@@ -239,27 +263,7 @@ func (rt *Runtime) Run(s Spec) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := ukboot.Config{
-		Platform:   r.platform,
-		MemBytes:   r.mem,
-		ImageBytes: img.Bytes,
-		PTMode:     ukboot.PTStatic,
-		Allocator:  r.backend,
-		NICs:       r.profile.NICs,
-		Mount9pfs:  s.Mount9pfs,
-	}
-	if s.DynamicPageTable {
-		cfg.PTMode = ukboot.PTDynamic
-	}
-	if r.profile.NICs > 0 {
-		cfg.Libs = append(cfg.Libs, "lwip")
-	}
-	cfg.Libs = append(cfg.Libs, "vfscore", "ramfs")
-	if r.profile.Scheduler != "" {
-		cfg.Libs = append(cfg.Libs, "uksched")
-	}
-	cfg.Libs = append(cfg.Libs, s.ExtraLibs...)
-	vm, err := ukboot.Boot(rt.newMachine(), cfg)
+	vm, err := ukboot.Boot(rt.newMachine(), rt.bootConfig(r, s, img.Bytes))
 	if err != nil {
 		return nil, err
 	}

@@ -30,6 +30,9 @@ type Spec struct {
 	// MemBytes is total guest memory (default 64 MiB).
 	MemBytes int
 
+	// StackBytes is the boot stack size (default 64 KiB).
+	StackBytes int
+
 	// DCE enables dead code elimination (--gc-sections); LTO enables
 	// link-time optimization — the two Fig 8 switches.
 	DCE, LTO bool
@@ -85,6 +88,9 @@ func (s Spec) String() string {
 	if s.MemBytes != 0 {
 		out += fmt.Sprintf(" mem=%dMiB", s.MemBytes>>20)
 	}
+	if s.StackBytes != 0 {
+		out += fmt.Sprintf(" stack=%dKiB", s.StackBytes>>10)
+	}
 	if s.DCE {
 		out += " +dce"
 	}
@@ -123,6 +129,11 @@ func WithAllocator(name string) Option {
 // WithMemory sets total guest memory in bytes.
 func WithMemory(bytes int) Option {
 	return func(s *Spec) { s.MemBytes = bytes }
+}
+
+// WithStackBytes sets the boot stack size in bytes.
+func WithStackBytes(bytes int) Option {
+	return func(s *Spec) { s.StackBytes = bytes }
 }
 
 // WithDCE enables dead code elimination.
