@@ -5,9 +5,11 @@ package unikraft
 // build+boot of an app registered at run time.
 
 import (
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestSpecOptions(t *testing.T) {
@@ -30,6 +32,89 @@ func TestSpecOptions(t *testing.T) {
 	}
 	if s := NewSpec("redis", WithBuildFlags(true, false)); !s.DCE || s.LTO {
 		t.Errorf("WithBuildFlags = %+v", s)
+	}
+}
+
+func TestSpecNetOptions(t *testing.T) {
+	s := NewSpec("nginx", WithZeroCopy(), WithTxBatch(32), WithIRQCoalesce(4))
+	if !s.ZeroCopy || s.TxKickBatch != 32 || s.RxIRQBatch != 4 {
+		t.Errorf("net options not applied: %+v", s)
+	}
+	str := s.String()
+	for _, want := range []string{"+zc", "kick=32", "irq=4"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q, missing %q", str, want)
+		}
+	}
+	rt := NewRuntime()
+	tuning, err := rt.NetTuning(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuning.TxKickBatch != 32 || tuning.RxIRQBatch != 4 {
+		t.Errorf("NetTuning = %+v", tuning)
+	}
+	if _, err := rt.NetTuning(NewSpec("notepad")); err == nil {
+		t.Error("NetTuning accepted an invalid spec")
+	}
+}
+
+// TestPoolSpecZeroCopy: a zero-copy, kick-batched spec must produce a
+// pool whose requests finish faster than the copying default.
+func TestPoolSpecZeroCopy(t *testing.T) {
+	rt := NewRuntime()
+	serve := func(spec Spec) *ServeReport {
+		pool, err := rt.NewPool(spec, WithWarm(2), DisableAutoscale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pool.Close()
+		rep, err := pool.Serve(PoissonWorkload(1, 10_000, 2_000, 1024))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	base := serve(NewSpec("nginx", WithVMM("firecracker")))
+	zc := serve(NewSpec("nginx", WithVMM("firecracker"), WithZeroCopy(), WithTxBatch(16)))
+	if zc.Latency.Sum >= base.Latency.Sum {
+		t.Errorf("zero-copy spec latency sum %v >= copying %v", zc.Latency.Sum, base.Latency.Sum)
+	}
+}
+
+// TestPoolServeParallelFacade: the sharded serving engine is reachable
+// through the SDK facade and matches sequential aggregates on a steady
+// trace.
+func TestPoolServeParallelFacade(t *testing.T) {
+	rt := NewRuntime()
+	spec := NewSpec("nginx", WithVMM("firecracker"))
+	mkTrace := func() Workload {
+		reqs := make([]Request, 400)
+		for i := range reqs {
+			reqs[i] = Request{Arrival: time.Duration(i+1) * time.Millisecond, Bytes: 128}
+		}
+		return TraceWorkload(reqs)
+	}
+	seqPool, err := rt.NewPool(spec, WithWarm(4), WithMaxInstances(4), DisableAutoscale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seqPool.Close()
+	seq, err := seqPool.Serve(mkTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parPool, err := rt.NewPool(spec, WithWarm(4), WithMaxInstances(4), DisableAutoscale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parPool.Close()
+	par, err := parPool.ServeParallel(mkTrace(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel facade report diverged:\n%v\nvs\n%v", seq, par)
 	}
 }
 
@@ -58,6 +143,8 @@ func TestValidateErrors(t *testing.T) {
 		{NewSpec("nginx", WithAllocator("jemalloc")), `unknown allocator "jemalloc"`},
 		{NewSpec("nginx", WithMemory(-1)), "memory must not be negative"},
 		{NewSpec("nginx", WithExtraLibs("shsf")), `unknown extra library "shsf"`},
+		{NewSpec("nginx", WithTxBatch(-2)), "TX kick batch must not be negative"},
+		{NewSpec("nginx", WithIRQCoalesce(-1)), "RX IRQ batch must not be negative"},
 	}
 	for _, c := range cases {
 		err := rt.Validate(c.spec)

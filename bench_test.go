@@ -181,6 +181,12 @@ func BenchmarkText9pfsBoot(b *testing.B) {
 	b.ReportMetric(metric(res, "qemu", 1), "kvm-9pfs-mount-ms")
 }
 
+func BenchmarkZeroCopy(b *testing.B) {
+	res := runExperiment(b, "zerocopy")
+	b.ReportMetric(metric(res, "copy", 1)*1e3, "nginx-copy-req/s")
+	b.ReportMetric(metric(res, "zerocopy+kick32", 1)*1e3, "nginx-zc-batched-req/s")
+}
+
 func BenchmarkServe(b *testing.B) {
 	res := runExperiment(b, "serve")
 	b.ReportMetric(metric(res, "poisson-steady", 4), "steady-warm-hit-pct")

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"unikraft"
+)
+
+// compare re-runs every experiment recorded in a committed baseline
+// (ukbench -json output) and flags throughput regressions beyond the
+// tolerance. The simulator is deterministic, so honest results
+// reproduce exactly; the tolerance exists so intentional recalibrations
+// within the paper's error bars don't trip CI, while a >10% throughput
+// loss fails the build.
+const regressionTolerance = 0.10
+
+// throughputColumn reports whether a column holds a higher-is-better
+// rate (the only cells compare judges; sizes, latencies and notes pass
+// through untouched).
+func throughputColumn(header string) bool {
+	return strings.Contains(header, "req/s") ||
+		strings.Contains(header, "Mp/s") ||
+		strings.Contains(header, "speedup") ||
+		strings.Contains(header, "warm-hit") ||
+		header == "served"
+}
+
+// parseRate extracts the numeric value of a rendered rate cell
+// ("432.9K", "250.0K/s", "2.03M", "1.47x", "99.98%").
+func parseRate(cell string) (float64, bool) {
+	c := strings.TrimSuffix(cell, "/s")
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(c, "K"):
+		mult, c = 1e3, strings.TrimSuffix(c, "K")
+	case strings.HasSuffix(c, "M"):
+		mult, c = 1e6, strings.TrimSuffix(c, "M")
+	case strings.HasSuffix(c, "x"), strings.HasSuffix(c, "%"):
+		c = c[:len(c)-1]
+	}
+	v, err := strconv.ParseFloat(c, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v * mult, true
+}
+
+// identityColumns name the label columns that identify a row across
+// runs. Only these go into the row key — measured cells (latencies,
+// counts, sizes) must not, or any recalibration that moves them would
+// orphan the row and hard-fail the compare regardless of the
+// throughput tolerance.
+var identityColumns = map[string]bool{
+	"system": true, "setup": true, "mode": true, "datapath": true,
+	"trace": true, "allocator": true, "configuration": true,
+	"source": true, "vmm": true, "platform": true, "app": true,
+}
+
+// rowKey joins the identity cells so baseline and current rows match
+// even if row order shifts. Results without any identity column fall
+// back to the first cell.
+func rowKey(headers, row []string) string {
+	var parts []string
+	for i, cell := range row {
+		if i < len(headers) && identityColumns[headers[i]] {
+			parts = append(parts, cell)
+		}
+	}
+	if len(parts) == 0 && len(row) > 0 {
+		parts = append(parts, row[0])
+	}
+	return strings.Join(parts, "|")
+}
+
+// runCompare checks current results against the baseline. When
+// currentPath is non-empty it diffs two JSON snapshots (no experiment
+// re-runs — CI produces BENCH_current.json once and reuses it);
+// otherwise each baseline experiment is re-run in process.
+func runCompare(rt *unikraft.Runtime, baselinePath, currentPath string) error {
+	baseline, err := loadResults(baselinePath)
+	if err != nil {
+		return err
+	}
+	current := map[string]*unikraft.ExperimentResult{}
+	if currentPath != "" {
+		results, err := loadResults(currentPath)
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			current[res.ID] = res
+		}
+	}
+
+	regressions := 0
+	for _, base := range baseline {
+		cur := current[base.ID]
+		if cur == nil {
+			if currentPath != "" {
+				fmt.Printf("MISSING  %s: experiment absent from %s\n", base.ID, currentPath)
+				regressions++
+				continue
+			}
+			var err error
+			cur, err = rt.RunExperiment(base.ID)
+			if err != nil {
+				return fmt.Errorf("rerun %s: %w", base.ID, err)
+			}
+		}
+		curRows := map[string][]string{}
+		for _, row := range cur.Rows {
+			curRows[rowKey(cur.Headers, row)] = row
+		}
+		for _, brow := range base.Rows {
+			key := rowKey(base.Headers, brow)
+			crow, ok := curRows[key]
+			if !ok {
+				fmt.Printf("MISSING  %s: row %q gone from current run\n", base.ID, key)
+				regressions++
+				continue
+			}
+			for i, cell := range brow {
+				if i >= len(base.Headers) || i >= len(crow) || !throughputColumn(base.Headers[i]) {
+					continue
+				}
+				bv, bok := parseRate(cell)
+				cv, cok := parseRate(crow[i])
+				if !bok || !cok || bv <= 0 {
+					continue
+				}
+				delta := (cv - bv) / bv
+				status := "ok      "
+				if delta < -regressionTolerance {
+					status = "REGRESS "
+					regressions++
+				}
+				fmt.Printf("%s %s %-40s %-12s %10s -> %-10s %+6.1f%%\n",
+					status, base.ID, key, base.Headers[i], cell, crow[i], 100*delta)
+			}
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d throughput regression(s) beyond %.0f%% vs %s",
+			regressions, 100*regressionTolerance, baselinePath)
+	}
+	fmt.Printf("baseline %s: all throughput cells within %.0f%%\n", baselinePath, 100*regressionTolerance)
+	return nil
+}
+
+func loadResults(path string) ([]*unikraft.ExperimentResult, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read results: %w", err)
+	}
+	var results []*unikraft.ExperimentResult
+	if err := json.Unmarshal(raw, &results); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("%s holds no experiments", path)
+	}
+	return results, nil
+}

@@ -5,6 +5,9 @@
 //	ukbench fig12 tab4 ...   run selected experiments
 //	ukbench -all             run everything concurrently (several minutes)
 //	ukbench -json fig8 ...   machine-readable results (CI consumes this)
+//	ukbench -compare BENCH_baseline.json
+//	                         re-run the baseline's experiments and fail
+//	                         on >10% throughput regressions (CI gate)
 package main
 
 import (
@@ -20,12 +23,21 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs")
 	all := flag.Bool("all", false, "run every experiment (concurrently)")
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
+	compare := flag.String("compare", "", "baseline JSON to compare against (fails on >10% throughput regressions)")
+	current := flag.String("current", "", "with -compare: diff this results JSON instead of re-running experiments")
 	flag.Parse()
 
 	rt := unikraft.NewRuntime()
 	if *list {
 		for _, id := range rt.Experiments() {
 			fmt.Printf("%-7s %s\n", id, rt.ExperimentTitle(id))
+		}
+		return
+	}
+	if *compare != "" {
+		if err := runCompare(rt, *compare, *current); err != nil {
+			fmt.Fprintln(os.Stderr, "ukbench:", err)
+			os.Exit(1)
 		}
 		return
 	}

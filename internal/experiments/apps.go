@@ -31,16 +31,28 @@ type tcpWorld struct {
 	client, server *netstack.Stack
 }
 
+// worldConfig selects the data-path variant a world runs on: the
+// calibrated copying baseline (zero value) or the zero-copy/coalesced
+// path the zerocopy experiment sweeps.
+type worldConfig struct {
+	zeroCopy bool
+	tuning   uknetdev.Tuning
+}
+
 func newTCPWorld(env *Env) (*tcpWorld, error) {
+	return newTCPWorldCfg(env, worldConfig{})
+}
+
+func newTCPWorldCfg(env *Env, wc worldConfig) (*tcpWorld, error) {
 	cm, sm := env.NewMachine(), env.NewMachine()
-	cd, sd, err := uknetdev.NewPair(cm, sm, uknetdev.VhostNet)
+	cd, sd, err := uknetdev.NewTunedPair(cm, sm, uknetdev.VhostNet, wc.tuning)
 	if err != nil {
 		return nil, err
 	}
 	return &tcpWorld{
 		cm: cm, sm: sm,
-		client: netstack.New(cm, cd, netstack.Config{Addr: netstack.IP(10, 0, 0, 1), Name: "client"}),
-		server: netstack.New(sm, sd, netstack.Config{Addr: netstack.IP(10, 0, 0, 2), Name: "server"}),
+		client: netstack.New(cm, cd, netstack.Config{Addr: netstack.IP(10, 0, 0, 1), Name: "client", ZeroCopy: wc.zeroCopy}),
+		server: netstack.New(sm, sd, netstack.Config{Addr: netstack.IP(10, 0, 0, 2), Name: "server", ZeroCopy: wc.zeroCopy}),
 	}, nil
 }
 
@@ -48,7 +60,11 @@ func newTCPWorld(env *Env) (*tcpWorld, error) {
 // rate (requests/second of server-core time) for GET or SET with the
 // paper's parameters (30 connections, pipelining 16).
 func redisRate(env *Env, alloc string, set bool, requests int) (float64, error) {
-	w, err := newTCPWorld(env)
+	return redisRateCfg(env, worldConfig{}, alloc, set, requests)
+}
+
+func redisRateCfg(env *Env, wc worldConfig, alloc string, set bool, requests int) (float64, error) {
+	w, err := newTCPWorldCfg(env, wc)
 	if err != nil {
 		return 0, err
 	}
@@ -160,7 +176,11 @@ func fig12(env *Env) (*Result, error) {
 
 // nginxRate measures the simulated Unikraft HTTP server.
 func nginxRate(env *Env, alloc string, requests int) (float64, error) {
-	w, err := newTCPWorld(env)
+	return nginxRateCfg(env, worldConfig{}, alloc, requests)
+}
+
+func nginxRateCfg(env *Env, wc worldConfig, alloc string, requests int) (float64, error) {
+	w, err := newTCPWorldCfg(env, wc)
 	if err != nil {
 		return 0, err
 	}

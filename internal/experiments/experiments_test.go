@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "txt1",
-		"serve",
+		"serve", "zerocopy",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -142,6 +142,47 @@ func TestServeShape(t *testing.T) {
 	bursty := res.Rows[1]
 	if cold, _ := strconv.Atoi(bursty[col["cold"]]); cold == 0 {
 		t.Error("bursty trace never cold-booted")
+	}
+}
+
+// TestZeroCopyShape runs the zerocopy sweep and validates the
+// acceptance bar: zero-copy with batched kicks buys >= 1.3x simulated
+// nginx throughput over the copying path, speedups are monotone in the
+// batching knob, and the copy baseline stays on the calibrated fig13
+// operating point.
+func TestZeroCopyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput run")
+	}
+	res, err := Run(DefaultEnv(), "zerocopy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nginx := map[string]float64{}
+	redis := map[string]float64{}
+	for _, row := range res.Rows {
+		nginx[row[0]] = parseK(t, row[1])
+		redis[row[0]] = parseM(t, row[3])
+	}
+	for _, name := range []string{"copy", "zerocopy", "zerocopy+kick8", "zerocopy+kick32"} {
+		if nginx[name] == 0 || redis[name] == 0 {
+			t.Fatalf("missing datapath row %q: %v", name, res.Rows)
+		}
+	}
+	if f := nginx["zerocopy+kick32"] / nginx["copy"]; f < 1.3 {
+		t.Errorf("nginx zero-copy+batched speedup = %.2fx, want >= 1.3x", f)
+	}
+	if redis["zerocopy+kick32"] <= redis["copy"] {
+		t.Errorf("redis zero-copy+batched (%.2fM) not above copy (%.2fM)",
+			redis["zerocopy+kick32"], redis["copy"])
+	}
+	if !(nginx["zerocopy+kick32"] >= nginx["zerocopy+kick8"] && nginx["zerocopy+kick8"] > nginx["zerocopy"]) {
+		t.Errorf("nginx speedup not monotone in kick batch: %v", nginx)
+	}
+	// The copy row is the calibrated fig13 configuration; it must stay
+	// on that operating point (~208K req/s at this request count).
+	if nginx["copy"] < 150 || nginx["copy"] > 300 {
+		t.Errorf("copy baseline drifted: %.0fK req/s", nginx["copy"])
 	}
 }
 

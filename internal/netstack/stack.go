@@ -26,6 +26,13 @@ const (
 	costTCPTx     = 380
 	costSockQueue = 260 // socket buffer enqueue/dequeue + bookkeeping
 	costPerByte16 = 16  // bytes copied per cycle in socket buffers
+
+	// costSockQueueZC is the zero-copy socket handoff: the buffer
+	// reference moves between app and stack (pbuf-style), so the charge
+	// is pointer bookkeeping only, with no per-byte component. This is
+	// the specialization lever behind the paper's Fig 12/13 deltas
+	// ("zero-copy I/O", §3.1).
+	costSockQueueZC = 80
 )
 
 // Errors returned by the stack and sockets.
@@ -58,6 +65,11 @@ type Config struct {
 	// thread wakeup), which is what keeps the paper's "LWIP" row at
 	// ~319K req/s while the raw uknetdev path reaches 6.3M.
 	PerDatagramSocketExtra uint64
+	// ZeroCopy switches the socket layers to zero-copy buffer handoff:
+	// send/recv charge pointer bookkeeping (costSockQueueZC) instead of
+	// an enqueue plus a per-byte copy. Default off — the copying path is
+	// the calibrated baseline the paper's figures measure against.
+	ZeroCopy bool
 }
 
 // Stats counts stack activity.
@@ -71,14 +83,22 @@ type Stats struct {
 	ChecksumErrors        uint64
 }
 
+// txHeadroom reserves room in pooled TX buffers for the link and
+// network headers the output path prepends (Ethernet 14 + IPv4 20,
+// rounded up for alignment slack).
+const txHeadroom = 64
+
 // Stack is one host's network stack bound to a uknetdev device.
 type Stack struct {
 	cfg     Config
 	machine *sim.Machine
 	dev     uknetdev.Device
+	// zc is dev's zero-copy capability, nil when the device only
+	// implements the copying burst API.
+	zc uknetdev.ZeroCopyDevice
 
 	arp     map[IPv4Addr]uknetdev.MAC
-	arpWait map[IPv4Addr][][]byte // frames queued pending resolution
+	arpWait map[IPv4Addr][]*uknetdev.Netbuf // frames queued pending resolution
 
 	udpPorts  map[uint16]*UDPConn
 	tcpConns  map[FourTuple]*TCPConn
@@ -89,7 +109,13 @@ type Stack struct {
 
 	stats Stats
 
+	// txPool recycles outgoing frame buffers; txScratch is the reusable
+	// one-element burst for the per-frame transmit path.
+	txPool    *uknetdev.NetbufPool
+	txScratch [1]*uknetdev.Netbuf
+
 	rxbufs []*uknetdev.Netbuf
+	rxzc   []*uknetdev.Netbuf
 }
 
 // New creates a stack on machine m bound to dev.
@@ -99,21 +125,31 @@ func New(m *sim.Machine, dev uknetdev.Device, cfg Config) *Stack {
 		machine:   m,
 		dev:       dev,
 		arp:       map[IPv4Addr]uknetdev.MAC{},
-		arpWait:   map[IPv4Addr][][]byte{},
+		arpWait:   map[IPv4Addr][]*uknetdev.Netbuf{},
 		udpPorts:  map[uint16]*UDPConn{},
 		tcpConns:  map[FourTuple]*TCPConn{},
 		tcpListen: map[uint16]*Listener{},
 		ephemeral: 32768,
+		txPool:    uknetdev.NewNetbufPool(txHeadroom, 2048, 16),
 	}
-	s.rxbufs = make([]*uknetdev.Netbuf, 64)
-	for i := range s.rxbufs {
-		s.rxbufs[i] = uknetdev.NewNetbuf(0, 2048)
+	if zc, ok := dev.(uknetdev.ZeroCopyDevice); ok {
+		s.zc = zc
+		s.rxzc = make([]*uknetdev.Netbuf, 64)
+	} else {
+		s.rxbufs = make([]*uknetdev.Netbuf, 64)
+		for i := range s.rxbufs {
+			s.rxbufs[i] = uknetdev.NewNetbuf(0, 2048)
+		}
 	}
 	return s
 }
 
 // Addr returns the stack's IPv4 address.
 func (s *Stack) Addr() IPv4Addr { return s.cfg.Addr }
+
+// ZeroCopyEnabled reports whether the stack runs the zero-copy socket
+// path (layers above, like the syscall shim, surface it to apps).
+func (s *Stack) ZeroCopyEnabled() bool { return s.cfg.ZeroCopy }
 
 // Stats returns stack counters.
 func (s *Stack) Stats() Stats { return s.stats }
@@ -127,23 +163,64 @@ func (s *Stack) Device() uknetdev.Device { return s.dev }
 // Poll drains the device RX queue, processes every frame, then runs TCP
 // timers. It returns the number of frames processed. Event-loop
 // applications call Poll and then check their sockets.
+//
+// On zero-copy devices the received buffers are borrowed by reference
+// for the duration of input processing and recycled to their pools
+// afterwards — no per-frame copy or allocation.
 func (s *Stack) Poll() int {
 	total := 0
-	for {
-		n, more, err := s.dev.RxBurst(0, s.rxbufs)
-		if err != nil || n == 0 {
-			break
+	if s.zc != nil {
+		for {
+			n, more, err := s.zc.RxBurstZC(0, s.rxzc)
+			if err != nil || n == 0 {
+				break
+			}
+			for i, nb := range s.rxzc[:n] {
+				s.input(nb.Bytes())
+				nb.Release()
+				s.rxzc[i] = nil
+			}
+			total += n
+			if !more {
+				break
+			}
 		}
-		for _, nb := range s.rxbufs[:n] {
-			s.input(nb.Bytes())
-		}
-		total += n
-		if !more {
-			break
+	} else {
+		for {
+			n, more, err := s.dev.RxBurst(0, s.rxbufs)
+			if err != nil || n == 0 {
+				break
+			}
+			for _, nb := range s.rxbufs[:n] {
+				s.input(nb.Bytes())
+			}
+			total += n
+			if !more {
+				break
+			}
 		}
 	}
 	s.tcpTimers()
 	return total
+}
+
+// PendingRx reports frames waiting in the device RX queue without
+// processing them, or -1 when the device cannot say. Pump uses it to
+// skip quiescent stacks.
+func (s *Stack) PendingRx() int {
+	if p, ok := s.dev.(interface{ Pending(int) int }); ok {
+		return p.Pending(0)
+	}
+	return -1
+}
+
+// Flush charges any coalesced TX kick the device still owes (see
+// uknetdev.Tuning). Pump calls it at quiescence so batched runs do not
+// under-count VM exits.
+func (s *Stack) Flush() {
+	if s.zc != nil {
+		s.zc.FlushTx()
+	}
 }
 
 // input processes one received Ethernet frame.
@@ -195,9 +272,10 @@ func (s *Stack) arpLearn(ip IPv4Addr, mac uknetdev.MAC) {
 	s.arp[ip] = mac
 	if queued, ok := s.arpWait[ip]; ok {
 		delete(s.arpWait, ip)
-		for _, frame := range queued {
-			PutEth(frame, EthHeader{Dst: mac, Src: s.dev.HWAddr(), EtherType: EtherTypeIPv4})
-			s.transmit(frame)
+		for _, nb := range queued {
+			nb.Prepend(EthHeaderLen)
+			PutEth(nb.Bytes(), EthHeader{Dst: mac, Src: s.dev.HWAddr(), EtherType: EtherTypeIPv4})
+			s.transmit(nb)
 		}
 	}
 }
@@ -241,29 +319,52 @@ func (s *Stack) inputICMP(ip IPv4Header, b []byte) {
 // --- output path -------------------------------------------------------
 
 // sendEth builds and transmits a frame to dst; fill writes the payload
-// into the provided buffer and returns its length.
+// into the provided buffer and returns its length. The frame is built
+// in a pooled netbuf: payload first, headers prepended into headroom.
 func (s *Stack) sendEth(dst uknetdev.MAC, etherType uint16, fill func([]byte) int) {
 	s.machine.Charge(costEthTx)
-	buf := make([]byte, EthHeaderLen+2048)
-	n := fill(buf[EthHeaderLen:])
-	PutEth(buf, EthHeader{Dst: dst, Src: s.dev.HWAddr(), EtherType: etherType})
-	s.transmit(buf[:EthHeaderLen+n])
+	nb := s.txPool.Get()
+	nb.Len = fill(nb.Data[nb.Off:])
+	nb.Prepend(EthHeaderLen)
+	PutEth(nb.Bytes(), EthHeader{Dst: dst, Src: s.dev.HWAddr(), EtherType: etherType})
+	s.transmit(nb)
 }
 
-func (s *Stack) transmit(frame []byte) {
-	nb := &uknetdev.Netbuf{Data: frame, Len: len(frame)}
+// transmit hands one built frame to the device and drops the stack's
+// reference; the device (and, on the zero-copy path, the peer) keep the
+// buffer alive until the frame is consumed. Unmanaged buffers (the
+// oversize fallback) have no reference to drop — the device snapshots
+// them.
+func (s *Stack) transmit(nb *uknetdev.Netbuf) {
 	s.stats.TxFrames++
-	s.dev.TxBurst(0, []*uknetdev.Netbuf{nb})
+	s.txScratch[0] = nb
+	s.dev.TxBurst(0, s.txScratch[:])
+	s.txScratch[0] = nil
+	if nb.Pooled() {
+		nb.Release()
+	}
 }
 
 // sendIPv4 emits one IPv4 packet to dst; fill writes the L4 payload
-// (header+data) and returns its length. payloadHint sizes the buffer.
+// (header+data) into the buffer and returns its length. The frame is
+// built in a pooled fixed-geometry buffer (2 KiB payload capacity,
+// which covers every TCP segment and in-MTU datagram); an oversize
+// payloadHint falls back to a right-sized unmanaged buffer so jumbo
+// datagrams still build a frame and get dropped at the device MTU
+// check, exactly like the pre-pool path.
 func (s *Stack) sendIPv4(dst IPv4Addr, proto byte, payloadHint int, fill func([]byte) int) error {
 	s.machine.Charge(costIPTx)
-	buf := make([]byte, EthHeaderLen+IPv4HeaderLen+payloadHint+64)
-	n := fill(buf[EthHeaderLen+IPv4HeaderLen:])
+	var nb *uknetdev.Netbuf
+	if payloadHint+64 <= 2048 {
+		nb = s.txPool.Get()
+	} else {
+		nb = uknetdev.NewNetbuf(txHeadroom, payloadHint+64)
+	}
+	n := fill(nb.Data[nb.Off:])
+	nb.Len = n
 	s.ipID++
-	PutIPv4(buf[EthHeaderLen:], IPv4Header{
+	nb.Prepend(IPv4HeaderLen)
+	PutIPv4(nb.Bytes(), IPv4Header{
 		TotalLen: uint16(IPv4HeaderLen + n),
 		ID:       s.ipID,
 		TTL:      64,
@@ -271,19 +372,31 @@ func (s *Stack) sendIPv4(dst IPv4Addr, proto byte, payloadHint int, fill func([]
 		Src:      s.cfg.Addr,
 		Dst:      dst,
 	})
-	frame := buf[:EthHeaderLen+IPv4HeaderLen+n]
 
 	mac, ok := s.arp[dst]
 	if !ok {
-		// Queue the frame and ask who-has.
-		s.arpWait[dst] = append(s.arpWait[dst], frame)
+		// Queue the frame (keeping the stack's reference) and ask
+		// who-has; the Ethernet header is prepended at resolution.
+		s.arpWait[dst] = append(s.arpWait[dst], nb)
 		s.arpRequest(dst)
 		return nil
 	}
-	PutEth(frame, EthHeader{Dst: mac, Src: s.dev.HWAddr(), EtherType: EtherTypeIPv4})
+	nb.Prepend(EthHeaderLen)
+	PutEth(nb.Bytes(), EthHeader{Dst: mac, Src: s.dev.HWAddr(), EtherType: EtherTypeIPv4})
 	s.machine.Charge(costEthTx)
-	s.transmit(frame)
+	s.transmit(nb)
 	return nil
+}
+
+// chargeSockQueue charges one socket-buffer handoff of n bytes: an
+// enqueue/dequeue plus the per-byte copy on the standard path, pointer
+// bookkeeping only under zero-copy.
+func (s *Stack) chargeSockQueue(n int) {
+	if s.cfg.ZeroCopy {
+		s.machine.Charge(costSockQueueZC)
+		return
+	}
+	s.machine.Charge(costSockQueue + uint64(n)/costPerByte16)
 }
 
 func (s *Stack) arpRequest(dst IPv4Addr) {

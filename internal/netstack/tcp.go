@@ -348,7 +348,7 @@ func (c *TCPConn) segment(h TCPHeader, payload []byte) {
 					take = room
 				}
 				c.rcvBuf = append(c.rcvBuf, payload[:take]...)
-				s.machine.Charge(costSockQueue + uint64(take)/costPerByte16)
+				s.chargeSockQueue(take)
 				c.rcvNxt += uint32(take)
 				c.sendAck()
 				c.rwq.WakeAll()
@@ -631,7 +631,7 @@ func (c *TCPConn) Write(data []byte) (int, error) {
 	if n == 0 {
 		return 0, ErrBufferFull
 	}
-	c.stack.machine.Charge(costSockQueue + uint64(n)/costPerByte16)
+	c.stack.chargeSockQueue(n)
 	c.sndBuf = append(c.sndBuf, data[:n]...)
 	c.trySend()
 	return n, nil
@@ -673,7 +673,7 @@ func (c *TCPConn) Read(buf []byte) (int, error) {
 	}
 	n := copy(buf, c.rcvBuf)
 	c.rcvBuf = c.rcvBuf[n:]
-	c.stack.machine.Charge(costSockQueue + uint64(n)/costPerByte16)
+	c.stack.chargeSockQueue(n)
 	// If we previously advertised a nearly-closed window and draining
 	// reopened it, tell the peer so it can resume (window update).
 	if c.state == stEstablished && c.lastWnd < tcpWindow/4 && rcvBufCap-len(c.rcvBuf) > rcvBufCap/2 {

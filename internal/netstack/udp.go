@@ -57,7 +57,8 @@ func (s *Stack) inputUDP(ip IPv4Header, b []byte) {
 	}
 	data := make([]byte, len(payload))
 	copy(data, payload)
-	s.machine.Charge(costSockQueue + s.cfg.PerDatagramSocketExtra + uint64(len(payload))/costPerByte16)
+	s.chargeSockQueue(len(payload))
+	s.machine.Charge(s.cfg.PerDatagramSocketExtra)
 	c.queue = append(c.queue, UDPDatagram{
 		From: AddrPort{Addr: ip.Src, Port: h.SrcPort},
 		Data: data,
@@ -75,7 +76,8 @@ func (c *UDPConn) SendTo(dst AddrPort, data []byte) error {
 		return ErrConnClosed
 	}
 	s := c.stack
-	s.machine.Charge(costSockQueue + costUDPTx + s.cfg.PerDatagramSocketExtra + uint64(len(data))/costPerByte16)
+	s.chargeSockQueue(len(data))
+	s.machine.Charge(costUDPTx + s.cfg.PerDatagramSocketExtra)
 	s.stats.UDPOut++
 	return s.sendIPv4(dst.Addr, ProtoUDP, UDPHeaderLen+len(data), func(b []byte) int {
 		copy(b[UDPHeaderLen:], data)
@@ -92,7 +94,7 @@ func (c *UDPConn) RecvFrom() (UDPDatagram, bool) {
 	}
 	d := c.queue[0]
 	c.queue = c.queue[1:]
-	c.stack.machine.Charge(costSockQueue + uint64(len(d.Data))/costPerByte16)
+	c.stack.chargeSockQueue(len(d.Data))
 	return d, true
 }
 

@@ -22,6 +22,17 @@ type event struct {
 	at  time.Duration
 	seq uint64
 	fn  func(now time.Duration)
+	h   Handler
+}
+
+// Handler is the allocation-free event target: hot paths embed a
+// reusable struct implementing Fire and pass its pointer to
+// ScheduleAt/ScheduleAfter, instead of allocating a fresh closure per
+// event. Storing the pointer in the heap entry's interface field does
+// not allocate, so a steady-state schedule/dispatch cycle is zero
+// allocations.
+type Handler interface {
+	Fire(now time.Duration)
 }
 
 // NewEventLoop returns an empty loop at virtual time zero.
@@ -53,6 +64,26 @@ func (l *EventLoop) After(d time.Duration, fn func(now time.Duration)) {
 	l.At(l.now+d, fn)
 }
 
+// ScheduleAt is At for a reusable Handler — the allocation-free fast
+// path. The handler must stay valid (and its state untouched by the
+// owner) until it fires; one handler instance must not be scheduled
+// twice concurrently.
+func (l *EventLoop) ScheduleAt(t time.Duration, h Handler) {
+	if t < l.now {
+		t = l.now
+	}
+	l.seq++
+	l.push(event{at: t, seq: l.seq, h: h})
+}
+
+// ScheduleAfter is After for a reusable Handler.
+func (l *EventLoop) ScheduleAfter(d time.Duration, h Handler) {
+	if d < 0 {
+		d = 0
+	}
+	l.ScheduleAt(l.now+d, h)
+}
+
 // Step dispatches the earliest pending event, advancing Now to its
 // timestamp. It reports whether an event was dispatched.
 func (l *EventLoop) Step() bool {
@@ -61,7 +92,11 @@ func (l *EventLoop) Step() bool {
 	}
 	e := l.pop()
 	l.now = e.at
-	e.fn(e.at)
+	if e.h != nil {
+		e.h.Fire(e.at)
+	} else {
+		e.fn(e.at)
+	}
 	return true
 }
 

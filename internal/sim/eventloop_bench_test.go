@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// countHandler is the intrusive-event pattern the serving layer uses: a
+// reusable struct scheduled by pointer, rescheduling itself.
+type countHandler struct {
+	loop *EventLoop
+	n    int
+	left int
+}
+
+func (h *countHandler) Fire(now time.Duration) {
+	h.n++
+	if h.left > 0 {
+		h.left--
+		h.loop.ScheduleAfter(time.Microsecond, h)
+	}
+}
+
+// BenchmarkEventLoop measures the handler fast path: schedule + dispatch
+// with a reused handler must not allocate per event.
+func BenchmarkEventLoop(b *testing.B) {
+	loop := NewEventLoop()
+	h := &countHandler{loop: loop}
+	// Warm the heap slice so growth is out of the measurement.
+	loop.ScheduleAfter(0, h)
+	loop.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	h.left = b.N
+	loop.ScheduleAfter(0, h)
+	loop.Run()
+	if h.n < b.N {
+		b.Fatalf("dispatched %d events, want >= %d", h.n, b.N)
+	}
+}
+
+// BenchmarkEventLoopClosure is the legacy closure path, for comparison
+// in benchstat output (it allocates one closure per event).
+func BenchmarkEventLoopClosure(b *testing.B) {
+	loop := NewEventLoop()
+	n := 0
+	var fire func(now time.Duration)
+	left := b.N
+	fire = func(now time.Duration) {
+		n++
+		if left > 0 {
+			left--
+			loop.After(time.Microsecond, fire)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	loop.After(0, fire)
+	loop.Run()
+	if n < b.N {
+		b.Fatalf("dispatched %d events, want >= %d", n, b.N)
+	}
+}
+
+// TestHandlerAndClosureInterleave: handler events and closure events
+// share one timeline and dispatch in timestamp-then-seq order.
+func TestHandlerAndClosureInterleave(t *testing.T) {
+	loop := NewEventLoop()
+	var order []int
+	h := handlerFunc(func(now time.Duration) { order = append(order, 1) })
+	loop.ScheduleAt(2*time.Millisecond, h)
+	loop.At(1*time.Millisecond, func(now time.Duration) { order = append(order, 0) })
+	loop.ScheduleAt(2*time.Millisecond, handlerFunc(func(now time.Duration) { order = append(order, 2) }))
+	loop.At(3*time.Millisecond, func(now time.Duration) { order = append(order, 3) })
+	loop.Run()
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("dispatch order = %v", order)
+		}
+	}
+}
+
+type handlerFunc func(now time.Duration)
+
+func (f handlerFunc) Fire(now time.Duration) { f(now) }

@@ -22,51 +22,6 @@ func (m MAC) String() string {
 	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
 }
 
-// Netbuf is the uk_netbuf packet wrapper (§3.1): meta-information around
-// an application-owned buffer. The layout is under the application's
-// control; drivers only read Data[Off:Off+Len].
-type Netbuf struct {
-	// Data is the backing buffer, allocated by the application or
-	// network stack (possibly from a ukalloc pool).
-	Data []byte
-	// Off is the start of packet bytes within Data (headroom before it
-	// lets stacks prepend headers without copying).
-	Off int
-	// Len is the packet length.
-	Len int
-	// Priv is per-packet application state (lwIP pbuf pointer etc.).
-	Priv any
-}
-
-// Bytes returns the packet payload view.
-func (nb *Netbuf) Bytes() []byte { return nb.Data[nb.Off : nb.Off+nb.Len] }
-
-// Prepend grows the packet at the front by n bytes (consuming headroom)
-// and returns the new front slice, or nil if headroom is insufficient.
-func (nb *Netbuf) Prepend(n int) []byte {
-	if nb.Off < n {
-		return nil
-	}
-	nb.Off -= n
-	nb.Len += n
-	return nb.Data[nb.Off : nb.Off+n]
-}
-
-// Trim removes n bytes from the front (after parsing a header).
-func (nb *Netbuf) Trim(n int) {
-	if n > nb.Len {
-		n = nb.Len
-	}
-	nb.Off += n
-	nb.Len -= n
-}
-
-// NewNetbuf allocates a netbuf with the given headroom and payload
-// capacity from plain Go memory (stacks with pools use their own).
-func NewNetbuf(headroom, capacity int) *Netbuf {
-	return &Netbuf{Data: make([]byte, headroom+capacity), Off: headroom}
-}
-
 // Errors returned by devices.
 var (
 	ErrDevStopped = errors.New("uknetdev: device not started")
@@ -100,6 +55,57 @@ type Stats struct {
 	TxDrops, RxDrops     uint64
 	Kicks                uint64 // guest->host notifications (VM exits)
 	IRQs                 uint64 // host->guest interrupts delivered
+	// KicksElided and IRQsElided count notifications that coalescing
+	// suppressed (batch accounting; see Tuning).
+	KicksElided, IRQsElided uint64
+	// ZCPackets counts packets that crossed the device without a payload
+	// copy (pool-managed netbuf handoff).
+	ZCPackets uint64
+}
+
+// Tuning coalesces device notifications, the §3.1 batching axis
+// ("supporting high performance features like ... packet batching").
+// The zero value is the paper's default driver behaviour: one kick per
+// TX burst, one interrupt per queue-empty-to-non-empty transition.
+type Tuning struct {
+	// TxKickBatch amortizes guest→host kicks (VM-exit-class cost) over
+	// batches: with a batch of N the driver charges exactly one
+	// notification per N enqueued frames, carrying remainders across
+	// bursts (stragglers below a full batch are charged by FlushTx).
+	// 0 or 1 keeps the calibrated default: one kick per TX burst.
+	TxKickBatch int
+	// RxIRQBatch moderates host→guest interrupts: an armed queue fires
+	// only once RxIRQBatch frames are pending (0 or 1 fires on the first
+	// frame). Re-arming via EnableRxInterrupt keeps level semantics and
+	// fires immediately on any pending work, so moderated stragglers are
+	// picked up at the next poll point.
+	RxIRQBatch int
+}
+
+func (t Tuning) txBatch() int {
+	if t.TxKickBatch < 1 {
+		return 1
+	}
+	return t.TxKickBatch
+}
+
+func (t Tuning) rxBatch() int {
+	if t.RxIRQBatch < 1 {
+		return 1
+	}
+	return t.RxIRQBatch
+}
+
+// ZeroCopyDevice is the optional fast-path capability: drivers that can
+// hand pool-managed netbufs across without payload copies implement it
+// in addition to Device. RxBurstZC transfers buffer ownership to the
+// caller (one reference per returned buffer, Release when done);
+// FlushTx charges any kick still owed for frames below a full
+// TxKickBatch.
+type ZeroCopyDevice interface {
+	Device
+	RxBurstZC(q int, pkts []*Netbuf) (n int, more bool, err error)
+	FlushTx()
 }
 
 // Device is the uk_netdev interface. Drivers register their callbacks in

@@ -23,28 +23,70 @@ type VirtioNet struct {
 	mac     MAC
 	machine *sim.Machine
 	backend Backend
+	tuning  Tuning
 
 	peer *VirtioNet
 
 	rxq, txq []*vring
 	started  bool
 	stats    Stats
+
+	// unkicked counts frames enqueued since the last host notification;
+	// a kick is charged once it reaches the TxKickBatch.
+	unkicked int
+
+	// dmaPool backs host-side frame snapshots for unmanaged TX buffers,
+	// so even the compatibility path allocates nothing per frame once
+	// warmed up.
+	dmaPool *NetbufPool
 }
 
-// vring is one virtqueue: a bounded ring of waiting packets plus the
-// interrupt line state.
+// vring is one virtqueue: a fixed-capacity ring of waiting packets plus
+// the interrupt line state. Descriptors are netbuf pointers; push/pop
+// never allocate.
 type vring struct {
-	cap     int
-	pending [][]byte // packets waiting for RxBurst (payload copies = DMA'd buffers)
-	intr    func()
-	armed   bool
+	buf   []*Netbuf
+	head  int
+	count int
+	intr  func()
+	armed bool
+}
+
+func newVring(capacity int, intr func()) *vring {
+	return &vring{buf: make([]*Netbuf, capacity), intr: intr}
+}
+
+func (r *vring) push(nb *Netbuf) bool {
+	if r.count == len(r.buf) {
+		return false
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = nb
+	r.count++
+	return true
+}
+
+func (r *vring) pop() *Netbuf {
+	nb := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	return nb
 }
 
 // NewVirtioNet creates an unconfigured device on machine m using the
 // given host backend. Wire two devices together with Connect.
 func NewVirtioNet(m *sim.Machine, mac MAC, b Backend) *VirtioNet {
-	return &VirtioNet{mac: mac, machine: m, backend: b}
+	return &VirtioNet{
+		mac: mac, machine: m, backend: b,
+		dmaPool: NewNetbufPool(0, defaultMTU+548, 0),
+	}
 }
+
+// SetTuning configures kick/IRQ coalescing; call before Start.
+func (d *VirtioNet) SetTuning(t Tuning) { d.tuning = t }
+
+// TuningInfo reports the active coalescing configuration.
+func (d *VirtioNet) TuningInfo() Tuning { return d.tuning }
 
 // Connect cross-wires two devices (a direct cable, as in the paper's
 // DPDK experiment setup, or the host bridge path).
@@ -83,7 +125,7 @@ func (d *VirtioNet) RxQueueSetup(q int, cfg QueueConfig) error {
 	if ring == 0 {
 		ring = defaultRing
 	}
-	d.rxq[q] = &vring{cap: ring, intr: cfg.IntrHandler}
+	d.rxq[q] = newVring(ring, cfg.IntrHandler)
 	return nil
 }
 
@@ -96,7 +138,7 @@ func (d *VirtioNet) TxQueueSetup(q int, cfg QueueConfig) error {
 	if ring == 0 {
 		ring = defaultRing
 	}
-	d.txq[q] = &vring{cap: ring, intr: cfg.IntrHandler}
+	d.txq[q] = newVring(ring, cfg.IntrHandler)
 	return nil
 }
 
@@ -120,7 +162,10 @@ func (d *VirtioNet) Start() error {
 }
 
 // TxBurst implements Device. The driver charges descriptor costs and the
-// (amortized) kick; payload bytes move by DMA, so no guest-side copy.
+// (amortized) kick. Pool-managed buffers are handed to the peer by
+// reference — the zero-copy path — while unmanaged buffers are
+// snapshotted into a recycled DMA buffer, preserving the historical
+// "caller may reuse its buffer immediately" contract.
 func (d *VirtioNet) TxBurst(q int, pkts []*Netbuf) (int, bool, error) {
 	if !d.started {
 		return 0, false, ErrDevStopped
@@ -135,47 +180,92 @@ func (d *VirtioNet) TxBurst(q int, pkts []*Netbuf) (int, bool, error) {
 			continue
 		}
 		d.machine.Charge(driverTxCycles)
-		// DMA snapshot of the frame onto the wire.
-		frame := make([]byte, nb.Len)
-		copy(frame, nb.Bytes())
 		if d.peer != nil {
-			d.peer.hostDeliver(frame)
+			if nb.Pooled() {
+				d.stats.ZCPackets++
+				d.peer.hostDeliver(nb.Ref())
+			} else {
+				// DMA snapshot of the frame onto the wire, from the
+				// peer's recycled buffer pool.
+				snap := d.peer.dmaPool.Get()
+				snap.Len = copy(snap.Data[snap.Off:], nb.Bytes())
+				d.peer.hostDeliver(snap)
+			}
 		}
 		d.stats.TxPackets++
 		d.stats.TxBytes += uint64(nb.Len)
 		sent++
 	}
 	if sent > 0 && d.backend.NeedsKick {
-		d.machine.Charge(d.backend.KickCycles)
-		d.stats.Kicks++
+		if batch := d.tuning.txBatch(); batch == 1 {
+			// Kick per burst: the calibrated default driver behaviour
+			// (one notification covers the whole enqueue).
+			d.machine.Charge(d.backend.KickCycles)
+			d.stats.Kicks++
+		} else {
+			// Coalesced: one kick per full batch of frames, remainder
+			// carried to the next burst (or FlushTx).
+			d.unkicked += sent
+			kicked := false
+			for d.unkicked >= batch {
+				d.machine.Charge(d.backend.KickCycles)
+				d.stats.Kicks++
+				d.unkicked -= batch
+				kicked = true
+			}
+			if !kicked {
+				d.stats.KicksElided++
+			}
+		}
 	}
 	return sent, true, nil
 }
 
-// hostDeliver is the host-side path depositing a frame into this
-// device's RX ring (queue 0; RSS is out of scope for a single-core VM).
-func (d *VirtioNet) hostDeliver(frame []byte) {
-	if !d.started || len(d.rxq) == 0 {
-		return
-	}
-	q := d.rxq[0]
-	if len(q.pending) >= q.cap {
-		d.stats.RxDrops++
-		return
-	}
-	q.pending = append(q.pending, frame)
-	d.stats.RxBytes += uint64(len(frame))
-	if q.armed && q.intr != nil {
-		// One interrupt per transition to non-empty; the line then
-		// stays inactive until re-enabled (storm avoidance, §3.1).
-		q.armed = false
-		d.stats.IRQs++
-		d.machine.Charge(d.backend.IRQCycles)
-		q.intr()
+// FlushTx implements ZeroCopyDevice: it charges the kick still owed for
+// frames below a full TxKickBatch (the "delayed notification" that a
+// real driver would fire from a timer). Callers invoke it at quiescence
+// points so coalescing never under-counts VM exits by more than a batch.
+func (d *VirtioNet) FlushTx() {
+	if d.unkicked > 0 && d.backend.NeedsKick {
+		d.machine.Charge(d.backend.KickCycles)
+		d.stats.Kicks++
+		d.unkicked = 0
 	}
 }
 
-// RxBurst implements Device.
+// hostDeliver is the host-side path depositing a frame into this
+// device's RX ring (queue 0; RSS is out of scope for a single-core VM).
+// It takes ownership of one reference on nb.
+func (d *VirtioNet) hostDeliver(nb *Netbuf) {
+	if !d.started || len(d.rxq) == 0 {
+		nb.Release()
+		return
+	}
+	q := d.rxq[0]
+	if !q.push(nb) {
+		d.stats.RxDrops++
+		nb.Release()
+		return
+	}
+	d.stats.RxBytes += uint64(nb.Len)
+	if q.armed && q.intr != nil {
+		if q.count >= d.tuning.rxBatch() {
+			// One interrupt per transition past the moderation
+			// threshold; the line then stays inactive until re-enabled
+			// (storm avoidance, §3.1).
+			q.armed = false
+			d.stats.IRQs++
+			d.machine.Charge(d.backend.IRQCycles)
+			q.intr()
+		} else {
+			d.stats.IRQsElided++
+		}
+	}
+}
+
+// RxBurst implements Device: received frames are copied into the
+// caller-owned buffers (the application-owns-all-memory contract of
+// §3.1); the ring's buffers recycle to their pools.
 func (d *VirtioNet) RxBurst(q int, pkts []*Netbuf) (int, bool, error) {
 	if !d.started {
 		return 0, false, ErrDevStopped
@@ -185,21 +275,43 @@ func (d *VirtioNet) RxBurst(q int, pkts []*Netbuf) (int, bool, error) {
 	}
 	ring := d.rxq[q]
 	n := 0
-	for n < len(pkts) && len(ring.pending) > 0 {
-		frame := ring.pending[0]
-		ring.pending = ring.pending[1:]
+	for n < len(pkts) && ring.count > 0 {
+		src := ring.pop()
 		nb := pkts[n]
-		if len(nb.Data)-nb.Off < len(frame) {
+		if len(nb.Data)-nb.Off < src.Len {
 			d.stats.RxDrops++
+			src.Release()
 			continue
 		}
 		d.machine.Charge(driverRxCycles)
-		copy(nb.Data[nb.Off:], frame) // DMA wrote the app's buffer
-		nb.Len = len(frame)
+		copy(nb.Data[nb.Off:], src.Bytes()) // DMA wrote the app's buffer
+		nb.Len = src.Len
+		src.Release()
 		d.stats.RxPackets++
 		n++
 	}
-	return n, len(ring.pending) > 0, nil
+	return n, ring.count > 0, nil
+}
+
+// RxBurstZC implements ZeroCopyDevice: ring buffers are handed to the
+// caller by reference, no payload copy. The caller owns one reference
+// per returned buffer and must Release each when done with it.
+func (d *VirtioNet) RxBurstZC(q int, pkts []*Netbuf) (int, bool, error) {
+	if !d.started {
+		return 0, false, ErrDevStopped
+	}
+	if q < 0 || q >= len(d.rxq) {
+		return 0, false, ErrBadQueue
+	}
+	ring := d.rxq[q]
+	n := 0
+	for n < len(pkts) && ring.count > 0 {
+		d.machine.Charge(driverRxCycles)
+		pkts[n] = ring.pop()
+		d.stats.RxPackets++
+		n++
+	}
+	return n, ring.count > 0, nil
 }
 
 // EnableRxInterrupt implements Device.
@@ -209,8 +321,10 @@ func (d *VirtioNet) EnableRxInterrupt(q int) error {
 	}
 	ring := d.rxq[q]
 	ring.armed = true
-	// If work is already pending, fire immediately (level semantics).
-	if len(ring.pending) > 0 && ring.intr != nil {
+	// If work is already pending, fire immediately (level semantics) —
+	// re-arming is the moderation flush point, so coalesced stragglers
+	// cannot rot in the ring.
+	if ring.count > 0 && ring.intr != nil {
 		ring.armed = false
 		d.stats.IRQs++
 		d.machine.Charge(d.backend.IRQCycles)
@@ -241,7 +355,7 @@ func (d *VirtioNet) Pending(q int) int {
 	if q < 0 || q >= len(d.rxq) {
 		return 0
 	}
-	return len(d.rxq[q].pending)
+	return d.rxq[q].count
 }
 
 // GuestTxCyclesPerPkt exposes the driver-side TX cost for the Fig 19
@@ -255,10 +369,17 @@ func GuestTxCyclesPerPkt() uint64 { return driverTxCycles }
 // window (a real system interleaves producer and consumer at packet
 // granularity).
 func NewPair(ma, mb *sim.Machine, backend Backend) (*VirtioNet, *VirtioNet, error) {
+	return NewTunedPair(ma, mb, backend, Tuning{})
+}
+
+// NewTunedPair is NewPair with kick/IRQ coalescing applied to both
+// devices.
+func NewTunedPair(ma, mb *sim.Machine, backend Backend, t Tuning) (*VirtioNet, *VirtioNet, error) {
 	a := NewVirtioNet(ma, MAC{0x02, 0, 0, 0, 0, 0xA}, backend)
 	b := NewVirtioNet(mb, MAC{0x02, 0, 0, 0, 0, 0xB}, backend)
 	Connect(a, b)
 	for _, d := range []*VirtioNet{a, b} {
+		d.SetTuning(t)
 		if err := d.Configure(1, 1); err != nil {
 			return nil, nil, err
 		}

@@ -76,6 +76,28 @@ func (h *Histogram) Record(d time.Duration) {
 	h.counts[i]++
 }
 
+// Merge folds another histogram into h bucket-wise. Because buckets are
+// integer counters, merging per-shard histograms yields bit-for-bit the
+// same summary regardless of merge order grouping — the property
+// ServeParallel's deterministic report relies on.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.MinV < h.MinV {
+		h.MinV = o.MinV
+	}
+	if o.MaxV > h.MaxV {
+		h.MaxV = o.MaxV
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.overflow += o.overflow
+}
+
 // Mean reports the average observation, or 0 when empty.
 func (h *Histogram) Mean() time.Duration {
 	if h.Count == 0 {

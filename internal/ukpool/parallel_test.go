@@ -1,0 +1,200 @@
+package ukpool
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"unikraft/internal/ukboot"
+)
+
+// steadyTrace builds a warm-hit-only trace: arrivals spaced far wider
+// than the service time, so routing is identical whether the fleet is
+// sharded or not.
+func steadyTrace(n int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{Arrival: time.Duration(i+1) * time.Millisecond, Bytes: 128}
+	}
+	return reqs
+}
+
+// TestServeParallelMatchesSequential: for a steady all-warm trace the
+// sharded run produces the same ServeReport aggregates as sequential
+// Serve — same requests, routing counts, latency and boot histograms,
+// fleet sizes and makespan. The shard interleaving (ids i, i+shards,
+// ...) boots the same instance set, so even the per-request service
+// times line up.
+func TestServeParallelMatchesSequential(t *testing.T) {
+	boot := testBoot(t)
+	trace := steadyTrace(1000)
+	opts := []Option{WithWarm(8), WithMaxInstances(8), DisableAutoscale()}
+
+	seqPool := New(boot, opts...)
+	defer seqPool.Close()
+	seq, err := seqPool.Serve(NewTrace(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		parPool := New(boot, opts...)
+		par, err := parPool.ServeParallel(NewTrace(trace), shards)
+		parPool.Close()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("shards=%d: parallel report diverged from sequential:\n%v\nvs\n%v", shards, seq, par)
+		}
+	}
+}
+
+// TestServeParallelDeterministic: a bursty trace through a sharded
+// fleet yields bit-for-bit the same merged report on every run,
+// regardless of goroutine scheduling.
+func TestServeParallelDeterministic(t *testing.T) {
+	var trace []Request
+	w := NewBursty(7, 20_000, 400_000, 100*time.Millisecond, 0.2, 20_000, 128)
+	for {
+		req, ok := w.Next()
+		if !ok {
+			break
+		}
+		trace = append(trace, req)
+	}
+	run := func() *Report {
+		p := New(testBoot(t), WithWarm(8), WithMaxInstances(64))
+		defer p.Close()
+		rep, err := p.ServeParallel(NewTrace(trace), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("sharded runs diverged:\n%v\nvs\n%v", a, b)
+	}
+	if a.Requests != len(trace) || a.Latency.Count != uint64(len(trace)) {
+		t.Errorf("sharded run lost requests: served %d/%d", a.Requests, len(trace))
+	}
+}
+
+// TestServeParallelIDsDisjoint: mixing Prewarm/Serve with
+// ServeParallel on one pool must never reissue an instance id —
+// BootFunc's uniqueness contract is what keeps per-instance boot seeds
+// distinct.
+func TestServeParallelIDsDisjoint(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]int{}
+	base := testBoot(t)
+	boot := func(id int) (*ukboot.VM, error) {
+		mu.Lock()
+		seen[id]++
+		mu.Unlock()
+		return base(id)
+	}
+	p := New(boot, WithWarm(4), DisableAutoscale())
+	defer p.Close()
+	if err := p.Prewarm(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ServeParallel(NewTrace(steadyTrace(100)), 2); err != nil {
+		t.Fatal(err)
+	}
+	// A sequential run afterwards must also stay clear of the shard ids.
+	if _, err := p.Serve(NewTrace(steadyTrace(100))); err != nil {
+		t.Fatal(err)
+	}
+	for id, n := range seen {
+		if n > 1 {
+			t.Errorf("instance id %d booted %d times", id, n)
+		}
+	}
+}
+
+func TestServeParallelClosedPool(t *testing.T) {
+	p := New(testBoot(t), WithWarm(1))
+	p.Close()
+	if _, err := p.ServeParallel(NewTrace(steadyTrace(4)), 2); err == nil {
+		t.Error("ServeParallel on closed pool succeeded")
+	}
+}
+
+// TestZeroCopyAndKickBatchCostModel: the Spec-level zero-copy and kick
+// batching options must shorten per-request service time, visible in
+// the latency histogram of an uncontended run.
+func TestZeroCopyAndKickBatchCostModel(t *testing.T) {
+	serve := func(opts ...Option) *Report {
+		p := New(testBoot(t), append([]Option{WithWarm(2), DisableAutoscale()}, opts...)...)
+		defer p.Close()
+		rep, err := p.Serve(NewTrace(steadyTrace(200)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	base := serve()
+	zc := serve(WithZeroCopy())
+	batched := serve(WithZeroCopy(), WithKickBatch(16))
+	if zc.Latency.Sum >= base.Latency.Sum {
+		t.Errorf("zero-copy total latency %v >= copying %v", zc.Latency.Sum, base.Latency.Sum)
+	}
+	if batched.Latency.Sum >= zc.Latency.Sum {
+		t.Errorf("kick-batched total latency %v >= unbatched %v", batched.Latency.Sum, zc.Latency.Sum)
+	}
+}
+
+// TestRetireKeepsFleetIndexed: retiring from the middle of the fleet
+// (via the coldest end of the idle deque) must keep every fleet index
+// consistent — a corrupted index would retire the wrong instance later.
+func TestRetireKeepsFleetIndexed(t *testing.T) {
+	p := New(testBoot(t), WithWarm(6), DisableAutoscale())
+	defer p.Close()
+	if err := p.Prewarm(6); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	for i := 0; i < 3; i++ {
+		p.retire(p.takeColdest())
+	}
+	for i, inst := range p.fleet {
+		if inst.fleetIdx != i {
+			t.Errorf("fleet[%d].fleetIdx = %d", i, inst.fleetIdx)
+		}
+	}
+	p.mu.Unlock()
+	if p.Size() != 3 || p.Idle() != 3 {
+		t.Errorf("size=%d idle=%d after 3 retirements, want 3/3", p.Size(), p.Idle())
+	}
+}
+
+// TestHistogramMerge: merging shard histograms equals recording the
+// union directly.
+func TestHistogramMerge(t *testing.T) {
+	var whole, a, b Histogram
+	for i := 1; i <= 2000; i++ {
+		d := time.Duration(i*i%977+1) * time.Microsecond
+		whole.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	var merged Histogram
+	merged.Merge(&a)
+	merged.Merge(&b)
+	if !reflect.DeepEqual(&whole, &merged) {
+		t.Errorf("merge diverged: %v vs %v", &whole, &merged)
+	}
+	// Merging an empty histogram is a no-op.
+	before := merged
+	var empty Histogram
+	merged.Merge(&empty)
+	if !reflect.DeepEqual(&before, &merged) {
+		t.Error("merging empty histogram changed state")
+	}
+}

@@ -13,8 +13,8 @@ import (
 // BootFunc boots one fresh instance on its own simulated machine. The
 // id is unique per instance for the pool's lifetime, so implementations
 // can derive deterministic per-instance seeds from it. Called from
-// multiple goroutines during batched scale-ups; each call must use its
-// own machine.
+// multiple goroutines during batched scale-ups (and from per-shard
+// goroutines under ServeParallel); each call must use its own machine.
 type BootFunc func(id int) (*ukboot.VM, error)
 
 // Config tunes a Pool. The zero value is not useful; New fills every
@@ -58,6 +58,15 @@ type Config struct {
 	// PerRequestHeap makes every request malloc/free its payload buffer
 	// on the instance's real heap allocator (default on).
 	PerRequestHeap bool
+	// ZeroCopy drops the per-request payload copy charges (RX and TX)
+	// from the service-time model — the Spec's WithZeroCopy plumbed
+	// into the serving layer (default off: the copying path is the
+	// calibrated baseline).
+	ZeroCopy bool
+	// KickBatch amortizes the two per-request virtqueue kicks
+	// (VM-exit-class cost) over a batch of n requests, the Spec's
+	// WithTxBatch (default 1: one pair of kicks per request).
+	KickBatch int
 }
 
 // Option adjusts a Config.
@@ -102,13 +111,82 @@ func DisableAutoscale() Option { return func(c *Config) { c.Autoscale = false } 
 // instance heap (pure cost-model service time).
 func DisablePerRequestHeap() Option { return func(c *Config) { c.PerRequestHeap = false } }
 
+// WithZeroCopy switches the per-request cost model to zero-copy buffer
+// handoff: no payload copy charges on receive or send.
+func WithZeroCopy() Option { return func(c *Config) { c.ZeroCopy = true } }
+
+// WithKickBatch amortizes per-request virtqueue kicks over batches of n
+// requests (n <= 1 means one kick pair per request).
+func WithKickBatch(n int) Option { return func(c *Config) { c.KickBatch = n } }
+
 // instance is one booted unikernel in the fleet.
 type instance struct {
 	id      int
 	vm      *ukboot.VM
 	bootDur time.Duration
 	served  int // requests since the last heap reset
+	// fleetIdx is the instance's position in Pool.fleet, maintained so
+	// retirement is O(1) instead of a fleet scan.
+	fleetIdx int
+	// ev is the instance's reusable timer event (service completion,
+	// boot-ready, recycle-ready). At most one is outstanding per
+	// instance at any moment, so the struct is embedded and recycled —
+	// the hot serving path schedules no closures and allocates nothing.
+	ev instEvent
 }
+
+// deque is a growable ring with O(1) operations at both ends. The idle
+// set uses the back as the hot LIFO end (most recently idled) and the
+// front as the cold retirement end; the request queue is plain FIFO.
+// It replaces slices whose pop-front reslicing made takeColdest (and
+// the wait queue behind it) O(n) in aggregate.
+type deque[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+func (d *deque[T]) len() int { return d.n }
+
+func (d *deque[T]) grow() {
+	size := 2 * len(d.buf)
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]T, size)
+	for i := 0; i < d.n; i++ {
+		buf[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf, d.head = buf, 0
+}
+
+func (d *deque[T]) pushBack(v T) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = v
+	d.n++
+}
+
+func (d *deque[T]) popBack() T {
+	var zero T
+	d.n--
+	i := (d.head + d.n) % len(d.buf)
+	v := d.buf[i]
+	d.buf[i] = zero
+	return v
+}
+
+func (d *deque[T]) popFront() T {
+	var zero T
+	v := d.buf[d.head]
+	d.buf[d.head] = zero
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	return v
+}
+
+func (d *deque[T]) reset() { *d = deque[T]{} }
 
 // Pool keeps a fleet of instances of one spec and serves request
 // streams through it. All methods are safe for concurrent use;
@@ -119,8 +197,8 @@ type Pool struct {
 
 	mu     sync.Mutex
 	nextID int
-	fleet  []*instance // every live instance
-	idle   []*instance // subset currently idle (LIFO for cache warmth)
+	fleet  []*instance      // every live instance
+	idle   deque[*instance] // subset currently idle (LIFO back = cache-warm)
 	closed bool
 }
 
@@ -139,6 +217,7 @@ func New(boot BootFunc, opts ...Option) *Pool {
 		Headroom:           2.0,
 		Autoscale:          true,
 		PerRequestHeap:     true,
+		KickBatch:          1,
 	}
 	for _, opt := range opts {
 		opt(&cfg)
@@ -158,6 +237,9 @@ func New(boot BootFunc, opts ...Option) *Pool {
 	if cfg.ColdBurst < 1 {
 		cfg.ColdBurst = 1
 	}
+	if cfg.KickBatch < 1 {
+		cfg.KickBatch = 1
+	}
 	return &Pool{cfg: cfg, boot: boot}
 }
 
@@ -172,7 +254,7 @@ func (p *Pool) Size() int {
 func (p *Pool) Idle() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.idle)
+	return p.idle.len()
 }
 
 // Close retires every instance. The pool must not be serving.
@@ -182,7 +264,8 @@ func (p *Pool) Close() {
 	for _, inst := range p.fleet {
 		inst.vm.Close()
 	}
-	p.fleet, p.idle, p.closed = nil, nil, true
+	p.fleet, p.closed = nil, true
+	p.idle.reset()
 }
 
 // Report is the outcome of one Serve run.
@@ -200,7 +283,8 @@ type Report struct {
 	// ScaleUps and ScaleDowns count autoscaler resize decisions.
 	ScaleUps, ScaleDowns int
 	// PeakInstances is the largest fleet observed; FinalInstances the
-	// fleet left warm when the trace drained.
+	// fleet left warm when the trace drained. Under ServeParallel both
+	// are summed across shards.
 	PeakInstances, FinalInstances int
 	// Duration is the virtual makespan: first arrival to last
 	// completion.
@@ -229,6 +313,27 @@ func (r *Report) Throughput() float64 {
 	return float64(r.Requests) / r.Duration.Seconds()
 }
 
+// Merge folds another report's aggregates into r: counters add,
+// histograms merge bucket-wise, and the makespan is the max. Used by
+// ServeParallel for the deterministic shard merge.
+func (r *Report) Merge(o *Report) {
+	r.Requests += o.Requests
+	r.WarmHits += o.WarmHits
+	r.ColdBoots += o.ColdBoots
+	r.Queued += o.Queued
+	r.Resets += o.Resets
+	r.Retired += o.Retired
+	r.ScaleUps += o.ScaleUps
+	r.ScaleDowns += o.ScaleDowns
+	r.PeakInstances += o.PeakInstances
+	r.FinalInstances += o.FinalInstances
+	if o.Duration > r.Duration {
+		r.Duration = o.Duration
+	}
+	r.Boot.Merge(&o.Boot)
+	r.Latency.Merge(&o.Latency)
+}
+
 // String renders the multi-line summary ukserve prints.
 func (r *Report) String() string {
 	return fmt.Sprintf(
@@ -244,7 +349,9 @@ func (r *Report) String() string {
 }
 
 // serveState is the per-Serve bookkeeping threaded through the event
-// callbacks.
+// handlers. The handlers themselves (arrival, autoscaler tick, and the
+// per-instance timer) are embedded reusable structs: the steady-state
+// serving loop schedules by pointer and allocates nothing per event.
 type serveState struct {
 	loop  *sim.EventLoop
 	w     Workload
@@ -254,13 +361,80 @@ type serveState struct {
 
 	busy    int
 	booting int // cold + scale-up boots in flight
-	queue   []Request
+	queue   deque[Request]
 	lastEnd time.Duration
+
+	arrEv  arrivalEvent
+	tickEv tickEvent
 
 	// autoscaler window
 	winArrivals int
 	winLat      Histogram
 	ewmaService time.Duration
+}
+
+// arrivalEvent delivers the next workload request; exactly one is
+// outstanding at a time, so one embedded instance is recycled for the
+// whole trace.
+type arrivalEvent struct {
+	p   *Pool
+	st  *serveState
+	req Request
+}
+
+func (e *arrivalEvent) Fire(now time.Duration) { e.p.arrive(e.st, e.req, now) }
+
+// tickEvent is the autoscaler timer; it reschedules itself.
+type tickEvent struct {
+	p  *Pool
+	st *serveState
+}
+
+func (e *tickEvent) Fire(now time.Duration) { e.p.tick(e.st, now) }
+
+// instEvent kinds.
+const (
+	evComplete  = iota // service finished: record latency, free the instance
+	evBootReady        // cold boot finished: serve the request that triggered it
+	evReady            // instance dispatchable (scale-up boot or recycle done)
+)
+
+// instEvent is the per-instance timer payload (see instance.ev).
+type instEvent struct {
+	p    *Pool
+	st   *serveState
+	inst *instance
+	kind int
+	req  Request       // evBootReady: the request waiting on this boot
+	lat  time.Duration // evComplete: end-to-end latency
+	svc  time.Duration // evComplete: service time for the EWMA
+}
+
+func (e *instEvent) Fire(now time.Duration) {
+	p, st := e.p, e.st
+	switch e.kind {
+	case evComplete:
+		st.busy--
+		if now > st.lastEnd {
+			st.lastEnd = now
+		}
+		st.rep.Latency.Record(e.lat)
+		st.winLat.Record(e.lat)
+		// EWMA of service time feeds the autoscaler's Little's-law
+		// estimate (alpha = 1/8).
+		if st.ewmaService == 0 {
+			st.ewmaService = e.svc
+		} else {
+			st.ewmaService += (e.svc - st.ewmaService) / 8
+		}
+		p.finishInstance(st, e.inst, now)
+	case evBootReady:
+		st.booting--
+		p.startService(st, e.inst, e.req, now)
+	case evReady:
+		st.booting--
+		p.dispatch(st, e.inst, now)
+	}
 }
 
 // Prewarm boots the fleet up to n instances (batched, concurrently),
@@ -277,7 +451,9 @@ func (p *Pool) Prewarm(n int) error {
 	if err != nil {
 		return err
 	}
-	p.idle = append(p.idle, insts...)
+	for _, inst := range insts {
+		p.idle.pushBack(inst)
+	}
 	return nil
 }
 
@@ -294,11 +470,17 @@ func (p *Pool) Prewarm(n int) error {
 func (p *Pool) Serve(w Workload) (*Report, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.serveLocked(w)
+}
+
+func (p *Pool) serveLocked(w Workload) (*Report, error) {
 	if p.closed {
 		return nil, fmt.Errorf("ukpool: serve on closed pool")
 	}
 
 	st := &serveState{loop: sim.NewEventLoop(), w: w, rep: &Report{}}
+	st.arrEv = arrivalEvent{p: p, st: st}
+	st.tickEv = tickEvent{p: p, st: st}
 
 	// Warm floor first, so steady traffic starts against a warm fleet.
 	insts, err := p.bootBatch(p.cfg.MinWarm - len(p.fleet))
@@ -307,13 +489,13 @@ func (p *Pool) Serve(w Workload) (*Report, error) {
 	}
 	for _, inst := range insts {
 		st.rep.Boot.Record(inst.bootDur)
+		p.idle.pushBack(inst)
 	}
-	p.idle = append(p.idle, insts...)
 	st.rep.PeakInstances = len(p.fleet)
 
 	p.scheduleArrival(st)
 	if p.cfg.Autoscale {
-		st.loop.After(p.cfg.ScaleWindow, func(now time.Duration) { p.tick(st, now) })
+		st.loop.ScheduleAfter(p.cfg.ScaleWindow, &st.tickEv)
 	}
 	st.loop.Run()
 
@@ -323,6 +505,101 @@ func (p *Pool) Serve(w Workload) (*Report, error) {
 		return st.rep, st.err
 	}
 	return st.rep, nil
+}
+
+// ServeParallel shards the trace and the fleet across per-shard event
+// loops on separate goroutines and merges the shard reports in shard
+// order — the scale-out path for multi-million-request traces that a
+// single event loop serves sequentially.
+//
+// Requests are partitioned round-robin onto shards (deterministic: the
+// partition depends only on arrival order); each shard runs the same
+// serving algorithm as Serve over its own sub-fleet with MinWarm,
+// MaxInstances and ColdBurst split evenly; instance ids are interleaved
+// (shard i boots ids i, i+shards, ...) so per-instance boot seeds stay
+// disjoint and reproducible. The merged report is therefore identical
+// across runs regardless of goroutine scheduling, and with shards <= 1
+// ServeParallel is exactly Serve.
+//
+// Shard fleets are per-call: each run boots them fresh (their boots are
+// recorded in the report, like Serve's warm floor) and closes them when
+// the trace drains. The pool's own fleet — including anything
+// Prewarmed — is left untouched for subsequent Serve calls; callers
+// alternating between the two engines should Prewarm only for the
+// sequential one.
+func (p *Pool) ServeParallel(w Workload, shards int) (*Report, error) {
+	if shards <= 1 {
+		return p.Serve(w)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("ukpool: serve on closed pool")
+	}
+
+	parts := make([][]Request, shards)
+	for i := 0; ; i++ {
+		req, ok := w.Next()
+		if !ok {
+			break
+		}
+		parts[i%shards] = append(parts[i%shards], req)
+	}
+
+	// Shard instance ids start past everything this pool ever issued, so
+	// BootFunc's id-uniqueness contract (and the per-id boot seeds
+	// derived from it) holds even when Serve/Prewarm ran first.
+	base := p.nextID
+	ceil := func(v int) int { return (v + shards - 1) / shards }
+	children := make([]*Pool, shards)
+	for s := 0; s < shards; s++ {
+		cfg := p.cfg
+		cfg.MinWarm = ceil(cfg.MinWarm)
+		cfg.MaxInstances = ceil(cfg.MaxInstances)
+		cfg.ColdBurst = ceil(cfg.ColdBurst)
+		shard := s
+		children[s] = &Pool{cfg: cfg, boot: func(id int) (*ukboot.VM, error) {
+			return p.boot(base + id*shards + shard)
+		}}
+	}
+
+	reps := make([]*Report, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			reps[s], errs[s] = children[s].Serve(NewTrace(parts[s]))
+		}(s)
+	}
+	wg.Wait()
+
+	// Burn the id range the shards consumed so later Serve calls on
+	// this pool cannot collide with it.
+	maxChild := 0
+	for _, c := range children {
+		if c.nextID > maxChild {
+			maxChild = c.nextID
+		}
+	}
+	p.nextID = base + maxChild*shards
+
+	merged := &Report{}
+	var firstErr error
+	for s := 0; s < shards; s++ {
+		if errs[s] != nil && firstErr == nil {
+			firstErr = fmt.Errorf("ukpool: shard %d: %w", s, errs[s])
+		}
+		if reps[s] != nil {
+			merged.Merge(reps[s])
+		}
+		children[s].Close()
+	}
+	if firstErr != nil {
+		return merged, firstErr
+	}
+	return merged, nil
 }
 
 // scheduleArrival pulls the next request off the workload and schedules
@@ -337,7 +614,8 @@ func (p *Pool) scheduleArrival(st *serveState) {
 		st.wDone = true
 		return
 	}
-	st.loop.At(req.Arrival, func(now time.Duration) { p.arrive(st, req, now) })
+	st.arrEv.req = req
+	st.loop.ScheduleAt(req.Arrival, &st.arrEv)
 }
 
 // arrive routes one request: warm hit, cold boot, or queue.
@@ -345,7 +623,7 @@ func (p *Pool) arrive(st *serveState, req Request, now time.Duration) {
 	st.rep.Requests++
 	st.winArrivals++
 	switch {
-	case len(p.idle) > 0:
+	case p.idle.len() > 0:
 		inst := p.takeIdle()
 		st.rep.WarmHits++
 		p.startService(st, inst, req, now)
@@ -361,40 +639,28 @@ func (p *Pool) arrive(st *serveState, req Request, now time.Duration) {
 			st.rep.PeakInstances = len(p.fleet)
 		}
 		st.booting++
-		st.loop.At(now+inst.bootDur, func(ready time.Duration) {
-			st.booting--
-			p.startService(st, inst, req, ready)
-		})
+		inst.ev = instEvent{p: p, st: st, inst: inst, kind: evBootReady, req: req}
+		st.loop.ScheduleAt(now+inst.bootDur, &inst.ev)
 	default:
 		st.rep.Queued++
-		st.queue = append(st.queue, req)
+		st.queue.pushBack(req)
 	}
 	p.scheduleArrival(st)
 }
 
 // startService charges the request's work to the instance's own CPU and
-// schedules the completion.
+// schedules the completion on the instance's reusable event.
 func (p *Pool) startService(st *serveState, inst *instance, req Request, now time.Duration) {
 	svc := p.serviceTime(inst, req.Bytes)
 	st.busy++
 	done := now + svc
-	lat := done - req.Arrival // queue wait + boot wait + service
-	st.loop.At(done, func(end time.Duration) {
-		st.busy--
-		if end > st.lastEnd {
-			st.lastEnd = end
-		}
-		st.rep.Latency.Record(lat)
-		st.winLat.Record(lat)
-		// EWMA of service time feeds the autoscaler's Little's-law
-		// estimate (alpha = 1/8).
-		if st.ewmaService == 0 {
-			st.ewmaService = svc
-		} else {
-			st.ewmaService += (svc - st.ewmaService) / 8
-		}
-		p.finishInstance(st, inst, end)
-	})
+	inst.ev = instEvent{
+		p: p, st: st, inst: inst,
+		kind: evComplete,
+		lat:  done - req.Arrival, // queue wait + boot wait + service
+		svc:  svc,
+	}
+	st.loop.ScheduleAt(done, &inst.ev)
 }
 
 // finishInstance recycles the instance if due, then dispatches it. The
@@ -414,26 +680,28 @@ func (p *Pool) finishInstance(st *serveState, inst *instance, now time.Duration)
 		st.rep.Resets++
 		resetDur := m.CPU.Duration(m.CPU.Cycles() - start)
 		st.booting++ // out of rotation until the re-init completes
-		st.loop.At(now+resetDur, func(ready time.Duration) {
-			st.booting--
-			p.dispatch(st, inst, ready)
-		})
+		inst.ev = instEvent{p: p, st: st, inst: inst, kind: evReady}
+		st.loop.ScheduleAt(now+resetDur, &inst.ev)
 		return
 	}
 	p.dispatch(st, inst, now)
 }
 
 // serviceTime performs one request's work on the instance: syscalls
-// through the shim, two virtqueue kicks, payload copies in and out,
-// the application cycles, and (by default) a real malloc/free of the
-// payload buffer on the instance heap.
+// through the shim, two virtqueue kicks (amortized over KickBatch),
+// payload copies in and out (elided under ZeroCopy), the application
+// cycles, and (by default) a real malloc/free of the payload buffer on
+// the instance heap.
 func (p *Pool) serviceTime(inst *instance, bytes int) time.Duration {
 	m := inst.vm.Machine
 	start := m.CPU.Cycles()
+	kicks := 2 * m.Costs.VMExit / uint64(p.cfg.KickBatch)
 	m.Charge(uint64(p.cfg.SyscallsPerRequest)*m.Costs.UnikraftSyscall +
-		2*m.Costs.VMExit + p.cfg.AppCycles)
-	m.ChargeCopy(bytes) // rx
-	m.ChargeCopy(bytes) // tx
+		kicks + p.cfg.AppCycles)
+	if !p.cfg.ZeroCopy {
+		m.ChargeCopy(bytes) // rx
+		m.ChargeCopy(bytes) // tx
+	}
 	if p.cfg.PerRequestHeap && bytes > 0 {
 		if ptr, err := inst.vm.Heap.Malloc(bytes); err == nil {
 			_ = inst.vm.Heap.Free(ptr)
@@ -476,21 +744,18 @@ func (p *Pool) tick(st *serveState, now time.Duration) {
 			return
 		}
 		for _, inst := range insts {
-			inst := inst
 			st.rep.Boot.Record(inst.bootDur)
 			st.booting++
-			st.loop.At(now+inst.bootDur, func(ready time.Duration) {
-				st.booting--
-				p.dispatch(st, inst, ready)
-			})
+			inst.ev = instEvent{p: p, st: st, inst: inst, kind: evReady}
+			st.loop.ScheduleAt(now+inst.bootDur, &inst.ev)
 		}
 		if len(p.fleet) > st.rep.PeakInstances {
 			st.rep.PeakInstances = len(p.fleet)
 		}
-	case desired < len(p.fleet) && len(p.idle) > 0:
+	case desired < len(p.fleet) && p.idle.len() > 0:
 		n := len(p.fleet) - desired
-		if n > len(p.idle) {
-			n = len(p.idle)
+		if n > p.idle.len() {
+			n = p.idle.len()
 		}
 		st.rep.ScaleDowns++
 		for i := 0; i < n; i++ {
@@ -501,48 +766,38 @@ func (p *Pool) tick(st *serveState, now time.Duration) {
 
 	st.winArrivals = 0
 	st.winLat = Histogram{}
-	if !st.wDone || st.busy > 0 || st.booting > 0 || len(st.queue) > 0 {
-		st.loop.After(p.cfg.ScaleWindow, func(t time.Duration) { p.tick(st, t) })
+	if !st.wDone || st.busy > 0 || st.booting > 0 || st.queue.len() > 0 {
+		st.loop.ScheduleAfter(p.cfg.ScaleWindow, &st.tickEv)
 	}
 }
 
 // dispatch routes a ready instance: the oldest queued request if any
 // are waiting, else back to the warm set.
 func (p *Pool) dispatch(st *serveState, inst *instance, now time.Duration) {
-	if len(st.queue) > 0 {
-		req := st.queue[0]
-		st.queue = st.queue[1:]
-		p.startService(st, inst, req, now)
+	if st.queue.len() > 0 {
+		p.startService(st, inst, st.queue.popFront(), now)
 		return
 	}
-	p.idle = append(p.idle, inst)
+	p.idle.pushBack(inst)
 }
 
 // takeIdle pops the most recently idled instance (LIFO keeps the hot
 // few instances hot and lets the tail go cold for retirement).
-func (p *Pool) takeIdle() *instance {
-	inst := p.idle[len(p.idle)-1]
-	p.idle = p.idle[:len(p.idle)-1]
-	return inst
-}
+func (p *Pool) takeIdle() *instance { return p.idle.popBack() }
 
 // takeColdest pops the longest-idle instance — the retirement end of
-// the stack.
-func (p *Pool) takeColdest() *instance {
-	inst := p.idle[0]
-	p.idle = p.idle[1:]
-	return inst
-}
+// the deque.
+func (p *Pool) takeColdest() *instance { return p.idle.popFront() }
 
-// retire removes inst from the fleet and releases its resources.
+// retire removes inst from the fleet (O(1) via its fleet index) and
+// releases its resources.
 func (p *Pool) retire(inst *instance) {
-	for i, x := range p.fleet {
-		if x == inst {
-			p.fleet[i] = p.fleet[len(p.fleet)-1]
-			p.fleet = p.fleet[:len(p.fleet)-1]
-			break
-		}
-	}
+	last := len(p.fleet) - 1
+	i := inst.fleetIdx
+	p.fleet[i] = p.fleet[last]
+	p.fleet[i].fleetIdx = i
+	p.fleet[last] = nil
+	p.fleet = p.fleet[:last]
 	inst.vm.Close()
 }
 
@@ -555,7 +810,7 @@ func (p *Pool) bootOne() (*instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	inst := &instance{id: id, vm: vm, bootDur: vm.Report.Total()}
+	inst := &instance{id: id, vm: vm, bootDur: vm.Report.Total(), fleetIdx: len(p.fleet)}
 	p.fleet = append(p.fleet, inst)
 	return inst, nil
 }
@@ -596,6 +851,9 @@ func (p *Pool) bootBatch(n int) ([]*instance, error) {
 			return nil, err
 		}
 	}
-	p.fleet = append(p.fleet, insts...)
+	for _, inst := range insts {
+		inst.fleetIdx = len(p.fleet)
+		p.fleet = append(p.fleet, inst)
+	}
 	return insts, nil
 }

@@ -30,14 +30,32 @@ const (
 // live in their own table (Unikraft's posix-fdtab multiplexes files and
 // sockets; keeping them separate here keeps both layers simple, with
 // descriptor numbers offset so they never collide with file fds).
+//
+// When the backing stack runs in zero-copy mode (netstack
+// Config.ZeroCopy), send and receive through these handlers charge the
+// stack's pointer-handoff cost instead of per-byte copies — the staged
+// buffer is the application's own memory, which is exactly the
+// paper's "applications own all memory" netbuf contract carried up to
+// the syscall boundary.
 type SocketBackend struct {
 	Stack *netstack.Stack
 	socks []*sock
-	// Bytes stages buffer arguments, like FileBackend.
+	// Bytes stages buffer arguments, like FileBackend, but as a bounded
+	// ring: handles recycle after stagingRing further stagings, so a
+	// server staging one buffer per request no longer grows the table
+	// (and the Go heap) without bound over a million-request run.
 	Bytes [][]byte
-	// Addrs stages sockaddr arguments.
+	// Addrs stages sockaddr arguments (same ring discipline).
 	Addrs []netstack.AddrPort
+
+	nextBytes, nextAddrs int
+	lastAddr             netstack.AddrPort
 }
+
+// stagingRing bounds the staged-argument tables. A handle is meant to
+// be consumed by the next syscall; keeping a generous window preserves
+// the stage-several-then-invoke pattern while capping memory.
+const stagingRing = 64
 
 const sockFDBase = 1 << 20 // socket descriptors start here
 
@@ -50,26 +68,36 @@ type sock struct {
 	used bool
 }
 
-// StageBytes registers a buffer argument and returns its handle.
+// StageBytes registers a buffer argument and returns its handle. The
+// handle stays valid for the next stagingRing stagings, then recycles.
 func (sb *SocketBackend) StageBytes(b []byte) uint64 {
-	sb.Bytes = append(sb.Bytes, b)
-	return uint64(len(sb.Bytes) - 1)
+	if len(sb.Bytes) < stagingRing {
+		sb.Bytes = append(sb.Bytes, b)
+		return uint64(len(sb.Bytes) - 1)
+	}
+	i := sb.nextBytes
+	sb.Bytes[i] = b
+	sb.nextBytes = (i + 1) % stagingRing
+	return uint64(i)
 }
 
-// StageAddr registers a sockaddr argument and returns its handle.
+// StageAddr registers a sockaddr argument and returns its handle (same
+// recycling window as StageBytes).
 func (sb *SocketBackend) StageAddr(a netstack.AddrPort) uint64 {
-	sb.Addrs = append(sb.Addrs, a)
-	return uint64(len(sb.Addrs) - 1)
+	sb.lastAddr = a
+	if len(sb.Addrs) < stagingRing {
+		sb.Addrs = append(sb.Addrs, a)
+		return uint64(len(sb.Addrs) - 1)
+	}
+	i := sb.nextAddrs
+	sb.Addrs[i] = a
+	sb.nextAddrs = (i + 1) % stagingRing
+	return uint64(i)
 }
 
 // LastAddr returns the most recently recorded peer address (the
 // recvfrom out-parameter in this staged ABI).
-func (sb *SocketBackend) LastAddr() netstack.AddrPort {
-	if len(sb.Addrs) == 0 {
-		return netstack.AddrPort{}
-	}
-	return sb.Addrs[len(sb.Addrs)-1]
-}
+func (sb *SocketBackend) LastAddr() netstack.AddrPort { return sb.lastAddr }
 
 func (sb *SocketBackend) install(s *sock) int64 {
 	for i, slot := range sb.socks {
@@ -224,7 +252,7 @@ func RegisterSocketSyscalls(s *Shim, sb *SocketBackend) {
 				return -EAGAIN
 			}
 			n := copy(buf, d.Data)
-			sb.Addrs = append(sb.Addrs, d.From) // out-param
+			sb.lastAddr = d.From // out-param
 			return int64(n)
 		case SockStream:
 			if sk.tcp == nil {

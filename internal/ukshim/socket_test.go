@@ -122,6 +122,90 @@ func TestTCPSocketsThroughShim(t *testing.T) {
 	}
 }
 
+// TestStagingTablesBounded: a serving loop staging one buffer and one
+// address per request must not grow the staged-argument tables without
+// bound — the ring recycles handles.
+func TestStagingTablesBounded(t *testing.T) {
+	w := newSockWorld(t)
+	sfd := w.ss.Invoke(SysSocket, [6]uint64{0, SockDgram})
+	bindAddr := w.sb.StageAddr(netstack.AddrPort{Port: 7777})
+	if rc := w.ss.Invoke(SysBind, [6]uint64{uint64(sfd), bindAddr}); rc != 0 {
+		t.Fatalf("bind = %d", rc)
+	}
+	cfd := w.cs.Invoke(SysSocket, [6]uint64{0, SockDgram})
+	buf := make([]byte, 64)
+	for i := 0; i < 10_000; i++ {
+		dst := w.cb.StageAddr(netstack.AddrPort{Addr: netstack.IP(10, 0, 0, 2), Port: 7777})
+		msg := w.cb.StageBytes([]byte("req"))
+		if n := w.cs.Invoke(SysSendto, [6]uint64{uint64(cfd), msg, 0, 0, dst}); n != 3 {
+			t.Fatalf("sendto #%d = %d", i, n)
+		}
+		w.pump()
+		bufIdx := w.sb.StageBytes(buf)
+		if n := w.ss.Invoke(SysRecvfrom, [6]uint64{uint64(sfd), bufIdx}); n != 3 {
+			t.Fatalf("recvfrom #%d = %d", i, n)
+		}
+		if from := w.sb.LastAddr(); from.Addr != netstack.IP(10, 0, 0, 1) {
+			t.Fatalf("peer addr #%d = %v", i, from)
+		}
+	}
+	for name, got := range map[string]int{
+		"client Bytes": len(w.cb.Bytes), "client Addrs": len(w.cb.Addrs),
+		"server Bytes": len(w.sb.Bytes), "server Addrs": len(w.sb.Addrs),
+	} {
+		if got > stagingRing {
+			t.Errorf("%s table grew to %d entries (ring is %d)", name, got, stagingRing)
+		}
+	}
+}
+
+// TestShimOverZeroCopyStack: the same shim-level exchange charges fewer
+// cycles on a zero-copy stack — the spec option reaches app-visible
+// syscalls end to end.
+func TestShimOverZeroCopyStack(t *testing.T) {
+	exchange := func(zc bool) uint64 {
+		cm, sm := sim.NewMachine(), sim.NewMachine()
+		cd, sd, err := uknetdev.NewPair(cm, sm, uknetdev.VhostNet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := netstack.New(cm, cd, netstack.Config{Addr: netstack.IP(10, 0, 0, 1), ZeroCopy: zc})
+		server := netstack.New(sm, sd, netstack.Config{Addr: netstack.IP(10, 0, 0, 2), ZeroCopy: zc})
+		if server.ZeroCopyEnabled() != zc {
+			t.Fatalf("ZeroCopyEnabled = %v, want %v", server.ZeroCopyEnabled(), zc)
+		}
+		ss := New(sm, ModeUnikraftTrap)
+		cs := New(cm, ModeUnikraftTrap)
+		sb := &SocketBackend{Stack: server}
+		cb := &SocketBackend{Stack: client}
+		RegisterSocketSyscalls(ss, sb)
+		RegisterSocketSyscalls(cs, cb)
+
+		sfd := ss.Invoke(SysSocket, [6]uint64{0, SockDgram})
+		bindAddr := sb.StageAddr(netstack.AddrPort{Port: 9000})
+		ss.Invoke(SysBind, [6]uint64{uint64(sfd), bindAddr})
+		cfd := cs.Invoke(SysSocket, [6]uint64{0, SockDgram})
+		payload := make([]byte, 1024)
+		buf := make([]byte, 2048)
+		start := sm.CPU.Cycles()
+		for i := 0; i < 50; i++ {
+			dst := cb.StageAddr(netstack.AddrPort{Addr: netstack.IP(10, 0, 0, 2), Port: 9000})
+			msg := cb.StageBytes(payload)
+			cs.Invoke(SysSendto, [6]uint64{uint64(cfd), msg, 0, 0, dst})
+			netstack.Pump(client, server)
+			bufIdx := sb.StageBytes(buf)
+			if n := ss.Invoke(SysRecvfrom, [6]uint64{uint64(sfd), bufIdx}); n != 1024 {
+				t.Fatalf("recvfrom = %d", n)
+			}
+		}
+		return sm.CPU.Cycles() - start
+	}
+	copying, zc := exchange(false), exchange(true)
+	if zc >= copying {
+		t.Errorf("zero-copy shim path %d cycles >= copying %d", zc, copying)
+	}
+}
+
 func TestSocketErrnoPaths(t *testing.T) {
 	w := newSockWorld(t)
 	if rc := w.ss.Invoke(SysSocket, [6]uint64{0, 99}); rc != -EINVAL {

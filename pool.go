@@ -65,7 +65,16 @@ func (rt *Runtime) NewPool(s Spec, opts ...PoolOption) (*Pool, error) {
 		// SplitMix64 increment keeps per-instance seeds well spread.
 		return ctx.Boot(sim.NewMachineWithSeed(seed + uint64(id)*0x9E3779B97F4A7C15))
 	}
-	return ukpool.New(boot, opts...), nil
+	// The spec's data-path options feed the pool's per-request cost
+	// model; caller options come after so they can still override.
+	var specOpts []PoolOption
+	if s.ZeroCopy {
+		specOpts = append(specOpts, ukpool.WithZeroCopy())
+	}
+	if s.TxKickBatch > 1 {
+		specOpts = append(specOpts, ukpool.WithKickBatch(s.TxKickBatch))
+	}
+	return ukpool.New(boot, append(specOpts, opts...)...), nil
 }
 
 // PoissonWorkload is an open-loop Poisson arrival process: n requests
@@ -120,3 +129,12 @@ func WithHeadroom(h float64) PoolOption { return ukpool.WithHeadroom(h) }
 // DisableAutoscale pins the warm set at the floor; cold boots still
 // happen on demand.
 func DisableAutoscale() PoolOption { return ukpool.DisableAutoscale() }
+
+// WithPoolZeroCopy drops the per-request payload copy charges from the
+// pool's service-time model (NewPool applies it automatically for specs
+// built with WithZeroCopy).
+func WithPoolZeroCopy() PoolOption { return ukpool.WithZeroCopy() }
+
+// WithPoolKickBatch amortizes per-request virtqueue kicks over batches
+// of n requests (NewPool applies it for specs built with WithTxBatch).
+func WithPoolKickBatch(n int) PoolOption { return ukpool.WithKickBatch(n) }

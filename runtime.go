@@ -11,6 +11,7 @@ import (
 	"unikraft/internal/ukalloc"
 	"unikraft/internal/ukboot"
 	"unikraft/internal/ukbuild"
+	"unikraft/internal/uknetdev"
 	"unikraft/internal/ukplat"
 )
 
@@ -170,6 +171,12 @@ func (rt *Runtime) resolve(s Spec) (resolved, error) {
 		return r, fmt.Errorf("unikraft: unknown extra library %q (not in the catalog or the boot-cost table)", lib)
 	}
 
+	if s.TxKickBatch < 0 {
+		return r, fmt.Errorf("unikraft: TX kick batch must not be negative, got %d (0 means kick per burst)", s.TxKickBatch)
+	}
+	if s.RxIRQBatch < 0 {
+		return r, fmt.Errorf("unikraft: RX IRQ batch must not be negative, got %d (0 means interrupt per arrival)", s.RxIRQBatch)
+	}
 	if s.MemBytes < 0 {
 		return r, fmt.Errorf("unikraft: memory must not be negative, got %d (0 means the 64 MiB default)", s.MemBytes)
 	}
@@ -311,6 +318,16 @@ func (rt *Runtime) MinMemory(s Spec) (int, error) {
 		PTMode:     ukboot.PTStatic,
 		Allocator:  r.backend,
 	}, floor)
+}
+
+// NetTuning returns the uknetdev kick/IRQ coalescing configuration a
+// spec implies, for callers wiring their own device topologies
+// (uknetdev.NewTunedPair) from a declarative Spec.
+func (rt *Runtime) NetTuning(s Spec) (uknetdev.Tuning, error) {
+	if _, err := rt.resolve(s); err != nil {
+		return uknetdev.Tuning{}, err
+	}
+	return uknetdev.Tuning{TxKickBatch: s.TxKickBatch, RxIRQBatch: s.RxIRQBatch}, nil
 }
 
 // env adapts the runtime for the experiment harness.

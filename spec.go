@@ -43,6 +43,22 @@ type Spec struct {
 	// Mount9pfs adds the virtio-9p mount step (§5.2 boot cost).
 	Mount9pfs bool
 
+	// ZeroCopy enables the zero-copy data path (§3.1): socket layers
+	// hand buffers through by reference instead of copying, so the
+	// per-request cost model drops its per-byte copy charges. Off by
+	// default — the copying path is the calibrated baseline.
+	ZeroCopy bool
+
+	// TxKickBatch coalesces guest→host virtqueue kicks: one
+	// VM-exit-class notification per batch of N frames (0 or 1 means
+	// kick per burst, the paper's default driver behaviour).
+	TxKickBatch int
+
+	// RxIRQBatch moderates host→guest interrupts: an armed RX queue
+	// fires only once N frames are pending (0 or 1 fires on the first
+	// frame).
+	RxIRQBatch int
+
 	// ExtraLibs lists additional micro-libraries whose constructors run
 	// at boot, beyond the ones the profile implies.
 	ExtraLibs []string
@@ -103,6 +119,15 @@ func (s Spec) String() string {
 	if s.Mount9pfs {
 		out += " +9pfs"
 	}
+	if s.ZeroCopy {
+		out += " +zc"
+	}
+	if s.TxKickBatch > 1 {
+		out += fmt.Sprintf(" kick=%d", s.TxKickBatch)
+	}
+	if s.RxIRQBatch > 1 {
+		out += fmt.Sprintf(" irq=%d", s.RxIRQBatch)
+	}
 	if len(s.ExtraLibs) > 0 {
 		out += fmt.Sprintf(" libs=%v", s.ExtraLibs)
 	}
@@ -159,6 +184,25 @@ func WithDynamicPageTable() Option {
 // With9pfs adds the virtio-9p mount step to the boot pipeline.
 func With9pfs() Option {
 	return func(s *Spec) { s.Mount9pfs = true }
+}
+
+// WithZeroCopy enables the zero-copy data path: buffer handoff by
+// reference through the socket layers and driver, no per-byte copy
+// charges.
+func WithZeroCopy() Option {
+	return func(s *Spec) { s.ZeroCopy = true }
+}
+
+// WithTxBatch coalesces TX virtqueue kicks to one per n frames (n <= 1
+// restores kick-per-burst).
+func WithTxBatch(n int) Option {
+	return func(s *Spec) { s.TxKickBatch = n }
+}
+
+// WithIRQCoalesce moderates RX interrupts to one per n pending frames
+// (n <= 1 restores interrupt-per-arrival).
+func WithIRQCoalesce(n int) Option {
+	return func(s *Spec) { s.RxIRQBatch = n }
 }
 
 // WithExtraLibs appends micro-libraries to initialize at boot.
