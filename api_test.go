@@ -59,6 +59,114 @@ func TestSpecNetOptions(t *testing.T) {
 	}
 }
 
+// TestSpecSnapshotBoot: the snapshot-fork options reach the Spec, its
+// rendering, and the Runtime boot path — a second Boot of a
+// SnapshotBoot spec forks the cached template instead of replaying the
+// pipeline, and the clone is observationally a booted VM.
+func TestSpecSnapshotBoot(t *testing.T) {
+	s := NewSpec("nginx", WithVMM("firecracker"), WithSnapshotBoot(), WithInitStages())
+	if !s.SnapshotBoot || !s.InitStages {
+		t.Fatalf("options not applied: %+v", s)
+	}
+	for _, want := range []string{"+snap", "+stages"} {
+		if !strings.Contains(s.String(), want) {
+			t.Errorf("String() = %q, missing %q", s.String(), want)
+		}
+	}
+
+	rt := NewRuntime()
+	cold, err := rt.Boot(NewSpec("nginx", WithVMM("firecracker")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	// First SnapshotBoot call pays the template boot; later ones fork.
+	first, err := rt.Boot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	forked, err := rt.Boot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer forked.Close()
+	if !forked.Forked || !first.Forked {
+		t.Error("SnapshotBoot spec did not fork")
+	}
+	if 5*forked.Report.Total() > cold.Report.Total() {
+		t.Errorf("fork %v not 5x below cold boot %v", forked.Report.Total(), cold.Report.Total())
+	}
+	cs, rs := forked.Heap.Stats(), cold.Heap.Stats()
+	if cs.HeapBytes != rs.HeapBytes {
+		t.Errorf("forked heap %d bytes vs booted %d", cs.HeapBytes, rs.HeapBytes)
+	}
+	if !reflect.DeepEqual(forked.InitLibs, cold.InitLibs) {
+		t.Errorf("forked lib set %v vs booted %v", forked.InitLibs, cold.InitLibs)
+	}
+
+	// Close releases the cached template; the runtime stays usable and
+	// re-captures on the next SnapshotBoot call.
+	rt.Close()
+	again, err := rt.Boot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if !again.Forked {
+		t.Error("post-Close SnapshotBoot did not fork")
+	}
+
+	// Specs differing below Spec.String()'s MiB rounding render the
+	// same "mem=64MiB" but must not share a template: the cache keys on
+	// exact memory/stack sizes.
+	whole, err := rt.Boot(s.With(WithMemory(64 << 20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer whole.Close()
+	half, err := rt.Boot(s.With(WithMemory(64<<20 + 512<<10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer half.Close()
+	if half.Config.MemBytes != 64<<20+512<<10 || half.Config.MemBytes == whole.Config.MemBytes {
+		t.Errorf("sub-MiB spec forked from a colliding template: mem=%d vs %d",
+			half.Config.MemBytes, whole.Config.MemBytes)
+	}
+}
+
+// TestPoolSpecSnapshotBoot: a SnapshotBoot spec produces a pool whose
+// fleet forks every instantiation from a pool-owned template.
+func TestPoolSpecSnapshotBoot(t *testing.T) {
+	rt := NewRuntime()
+	serve := func(spec Spec) *ServeReport {
+		pool, err := rt.NewPool(spec, WithWarm(2), WithMaxInstances(32), WithColdBurst(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pool.Close()
+		rep, err := pool.Serve(BurstyWorkload(3, 10_000, 200_000, 50*time.Millisecond, 0.3, 20_000, 256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	base := serve(NewSpec("nginx", WithVMM("firecracker")))
+	snap := serve(NewSpec("nginx", WithVMM("firecracker"), WithSnapshotBoot()))
+	if snap.ForkBoots == 0 || snap.ForkBoots != int(snap.Boot.Count) {
+		t.Errorf("snapshot pool forked %d of %d boots", snap.ForkBoots, snap.Boot.Count)
+	}
+	if base.ForkBoots != 0 {
+		t.Errorf("plain pool reports %d forks", base.ForkBoots)
+	}
+	if snap.ColdBoot.Count > 0 && base.ColdBoot.Count > 0 &&
+		snap.ColdBoot.Quantile(0.99) >= base.ColdBoot.Quantile(0.99) {
+		t.Errorf("fork cold p99 %v not below boot cold p99 %v",
+			snap.ColdBoot.Quantile(0.99), base.ColdBoot.Quantile(0.99))
+	}
+}
+
 // TestPoolSpecZeroCopy: a zero-copy, kick-batched spec must produce a
 // pool whose requests finish faster than the copying default.
 func TestPoolSpecZeroCopy(t *testing.T) {

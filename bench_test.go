@@ -194,6 +194,24 @@ func BenchmarkServe(b *testing.B) {
 	b.ReportMetric(metric(res, "bursty-5x", 4), "bursty-warm-hit-pct")
 }
 
+func BenchmarkSnapboot(b *testing.B) {
+	res := runExperiment(b, "snapboot")
+	b.ReportMetric(metric(res, "bursty-1M-fork", 2), "bursty-fork-p99-ms")
+	// nginx fork speedup: cold ms / fork ms from the sweep rows.
+	var cold, fork float64
+	for _, row := range res.Rows {
+		if row[0] == "nginx" && row[1] == "cold" {
+			cold, _ = strconv.ParseFloat(row[2], 64)
+		}
+		if row[0] == "nginx" && row[1] == "fork" {
+			fork, _ = strconv.ParseFloat(row[2], 64)
+		}
+	}
+	if fork > 0 {
+		b.ReportMetric(cold/fork, "nginx-fork-speedup-x")
+	}
+}
+
 // TestPublicAPI exercises the facade end to end (build, boot, min
 // memory, experiment registry).
 func TestPublicAPI(t *testing.T) {

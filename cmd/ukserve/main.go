@@ -21,10 +21,12 @@ import (
 
 func main() {
 	var (
-		app   = flag.String("app", "nginx", "application profile to serve")
-		vmm   = flag.String("vmm", "firecracker", "monitor: qemu, qemu-microvm, firecracker, solo5-hvt, xl")
-		alloc = flag.String("alloc", "", "ukalloc backend override (profile default if empty)")
-		memMB = flag.Int("mem", 8, "guest memory per instance, MiB")
+		app    = flag.String("app", "nginx", "application profile to serve")
+		vmm    = flag.String("vmm", "firecracker", "monitor: qemu, qemu-microvm, firecracker, solo5-hvt, xl")
+		alloc  = flag.String("alloc", "", "ukalloc backend override (profile default if empty)")
+		memMB  = flag.Int("mem", 8, "guest memory per instance, MiB")
+		fork   = flag.Bool("fork", false, "snapshot-fork instantiation: boot one template, clone the fleet copy-on-write")
+		stages = flag.Bool("stages", false, "staged init tables: independent boot constructors charge max, not sum")
 
 		warm      = flag.Int("warm", 8, "warm-instance floor")
 		maxInst   = flag.Int("max", 256, "fleet cap")
@@ -55,6 +57,12 @@ func main() {
 		unikraft.WithDCE(), unikraft.WithLTO())
 	if *alloc != "" {
 		spec = spec.With(unikraft.WithAllocator(*alloc))
+	}
+	if *fork {
+		spec = spec.With(unikraft.WithSnapshotBoot())
+	}
+	if *stages {
+		spec = spec.With(unikraft.WithInitStages())
 	}
 
 	opts := []unikraft.PoolOption{
@@ -123,6 +131,7 @@ func reportJSON(spec unikraft.Spec, r *unikraft.ServeReport) map[string]any {
 		"warm_hits":      r.WarmHits,
 		"warm_hit_ratio": r.WarmHitRatio(),
 		"cold_boots":     r.ColdBoots,
+		"fork_boots":     r.ForkBoots,
 		"queued":         r.Queued,
 		"resets":         r.Resets,
 		"retired":        r.Retired,
@@ -131,6 +140,7 @@ func reportJSON(spec unikraft.Spec, r *unikraft.ServeReport) map[string]any {
 		"peak_instances": r.PeakInstances,
 		"final_warm":     r.FinalInstances,
 		"boot":           hist(&r.Boot),
+		"coldboot":       hist(&r.ColdBoot),
 		"latency":        hist(&r.Latency),
 	}
 }

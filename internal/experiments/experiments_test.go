@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "txt1",
-		"serve", "zerocopy",
+		"serve", "zerocopy", "snapboot",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -142,6 +142,53 @@ func TestServeShape(t *testing.T) {
 	bursty := res.Rows[1]
 	if cold, _ := strconv.Atoi(bursty[col["cold"]]); cold == 0 {
 		t.Error("bursty trace never cold-booted")
+	}
+}
+
+// TestSnapbootShape runs the snapshot-fork experiment and validates
+// the acceptance bar: fork-boot at least 5x faster than cold boot for
+// nginx, the bursty 1M-request trace at a lower p99 with fork-based
+// cold boots, and VM.Reset cheapest of the three paths everywhere.
+func TestSnapbootShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput run")
+	}
+	res, err := Run(DefaultEnv(), "snapboot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := map[string]map[string]float64{} // app -> mode -> ms
+	for _, row := range res.Rows {
+		if cell[row[0]] == nil {
+			cell[row[0]] = map[string]float64{}
+		}
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", row[2], err)
+		}
+		cell[row[0]][row[1]] = v
+	}
+	for _, app := range []string{"helloworld", "nginx", "redis"} {
+		m := cell[app]
+		if m["cold"] == 0 || m["fork"] == 0 || m["reset"] == 0 {
+			t.Fatalf("%s rows incomplete: %v", app, m)
+		}
+		if m["fork"] >= m["cold"] {
+			t.Errorf("%s: fork %vms not below cold %vms", app, m["fork"], m["cold"])
+		}
+		if m["reset"] >= m["fork"] {
+			t.Errorf("%s: reset %vms not below fork %vms", app, m["reset"], m["fork"])
+		}
+	}
+	if f := cell["nginx"]["cold"] / cell["nginx"]["fork"]; f < 5 {
+		t.Errorf("nginx fork speedup %.2fx, want >= 5x", f)
+	}
+	boot, fork := cell["nginx"]["bursty-1M-boot"], cell["nginx"]["bursty-1M-fork"]
+	if boot == 0 || fork == 0 {
+		t.Fatalf("bursty rows missing: %v", cell["nginx"])
+	}
+	if fork >= boot {
+		t.Errorf("bursty p99 with forks %vms not below full boots %vms", fork, boot)
 	}
 }
 

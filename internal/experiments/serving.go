@@ -65,9 +65,16 @@ func serveDensity(env *Env) (*Result, error) {
 		Title: Title("serve"),
 		Headers: []string{"trace", "requests", "offered", "served",
 			"warm-hit", "cold", "queued", "peak-fleet",
-			"boot-p50", "boot-p99", "lat-p50", "lat-p99"},
+			"boot-p50", "boot-p99", "coldboot-p50", "coldboot-p99",
+			"lat-p50", "lat-p99"},
 	}
 	row := func(name string, offered float64, rep *ukpool.Report) {
+		coldQ := func(q float64) string {
+			if rep.ColdBoot.Count == 0 {
+				return "-"
+			}
+			return rep.ColdBoot.Quantile(q).Round(time.Microsecond).String()
+		}
 		res.Rows = append(res.Rows, []string{
 			name,
 			fmt.Sprintf("%d", rep.Requests),
@@ -79,6 +86,8 @@ func serveDensity(env *Env) (*Result, error) {
 			fmt.Sprintf("%d", rep.PeakInstances),
 			rep.Boot.Quantile(0.5).Round(time.Microsecond).String(),
 			rep.Boot.Quantile(0.99).Round(time.Microsecond).String(),
+			coldQ(0.5),
+			coldQ(0.99),
 			rep.Latency.Quantile(0.5).Round(time.Microsecond).String(),
 			rep.Latency.Quantile(0.99).Round(time.Microsecond).String(),
 		})

@@ -86,6 +86,20 @@ type Config struct {
 	// Scheduler, if non-nil creation is requested, selects the policy;
 	// include "uksched" in Libs to create one.
 	Scheduler uksched.Policy
+	// ParallelInit charges independent constructors in topologically
+	// sorted stages — libs with no ordering constraint between them
+	// charge max instead of sum, modelling a multi-queue init table.
+	// The allocator→scheduler→NIC ordering invariants are preserved:
+	// plat, page table and allocator stay strictly sequential, virtio
+	// devices wait for the bus scan, lwip waits for its NIC. Off by
+	// default; the sequential pipeline is the calibrated baseline.
+	ParallelInit bool
+	// SnapshotBoot marks the config as destined for snapshot-fork
+	// instantiation (Context.Snapshot + Context.Fork). Boot itself is
+	// unaffected; MinMemory additionally reserves the clone's private
+	// page-table pages so a fork can never boot with less memory than
+	// it can fault in.
+	SnapshotBoot bool
 }
 
 // Step records one timed boot phase.
@@ -120,6 +134,13 @@ type VM struct {
 	Sched     *uksched.Scheduler
 	Regions   []ukplat.MemRegion
 	Report    Report
+	// InitLibs is the ordered list of boot steps this instance ran (or,
+	// for a fork, inherited from its template) — the guest-visible
+	// initialized lib set.
+	InitLibs []string
+	// Forked marks instances instantiated via Context.Fork rather than
+	// the full boot pipeline.
+	Forked bool
 }
 
 // stepKind discriminates the precomputed steps a Context replays.
@@ -154,6 +175,12 @@ type Context struct {
 	steps     []ctxStep
 	regions   []ukplat.MemRegion
 	heapBytes int
+	// initLibs is the ordered step-name list, recorded on every booted
+	// (or forked) VM as its initialized lib set.
+	initLibs []string
+	// stages groups step indices into parallel init stages when
+	// cfg.ParallelInit is set (nil otherwise: sequential pipeline).
+	stages [][]int
 }
 
 // NewContext validates cfg (filling the stack-size and allocator
@@ -216,14 +243,116 @@ func NewContext(cfg Config) (*Context, error) {
 		charge(lib)
 	}
 	charge("misc")
+	for _, st := range c.steps {
+		c.initLibs = append(c.initLibs, st.name)
+	}
+	if cfg.ParallelInit {
+		c.computeStages()
+	}
 	return c, nil
+}
+
+// initStageDeps captures the genuine ordering constraints between
+// post-allocator constructors: virtio devices need the bus scan, lwip
+// needs its NIC driver and netdev registry, ramfs/posix mount on
+// vfscore, pthreads needs the scheduler. Everything else only depends
+// on the allocator and parallelizes freely.
+var initStageDeps = map[string][]string{
+	"virtio-net": {"ukbus"},
+	"virtio-blk": {"ukbus"},
+	"9pfs":       {"ukbus"},
+	"uknetdev":   {"ukbus"},
+	"lwip":       {"virtio-net", "uknetdev"},
+	"ramfs":      {"vfscore"},
+	"posix":      {"vfscore"},
+	"pthreads":   {"uksched"},
+}
+
+// computeStages topologically levels the step list into parallel init
+// stages. The prefix up to and including the allocator step is strictly
+// sequential (each step its own stage: plat brings up the console and
+// traps the page table needs, the page table maps the memory the heap
+// carves up); the trailing "misc" catch-all is pinned to a final stage
+// of its own. Steps sharing a level charge max, not sum, when booted.
+func (c *Context) computeStages() {
+	allocIdx := -1
+	for i, st := range c.steps {
+		if st.kind == stepAlloc {
+			allocIdx = i
+		}
+	}
+	for i := 0; i <= allocIdx; i++ {
+		c.stages = append(c.stages, []int{i})
+	}
+	var body, miscIdx []int
+	levels := map[string]int{}
+	for i := allocIdx + 1; i < len(c.steps); i++ {
+		if c.steps[i].name == "misc" {
+			miscIdx = append(miscIdx, i)
+			continue
+		}
+		body = append(body, i)
+		levels[c.steps[i].name] = 0
+	}
+	// Fixpoint leveling: lvl(step) = 1 + max lvl of its present deps.
+	// Iterating to stability handles deps regardless of list order; the
+	// dep graph is a shallow DAG, so this converges in a few passes.
+	for changed := true; changed; {
+		changed = false
+		for _, i := range body {
+			name := c.steps[i].name
+			lvl := 0
+			for _, dep := range initStageDeps[name] {
+				if dl, ok := levels[dep]; ok && dl+1 > lvl {
+					lvl = dl + 1
+				}
+			}
+			if lvl > levels[name] {
+				levels[name] = lvl
+				changed = true
+			}
+		}
+	}
+	byLevel := map[int][]int{}
+	maxLvl := -1
+	for _, i := range body {
+		lvl := levels[c.steps[i].name]
+		byLevel[lvl] = append(byLevel[lvl], i)
+		if lvl > maxLvl {
+			maxLvl = lvl
+		}
+	}
+	for lvl := 0; lvl <= maxLvl; lvl++ {
+		if len(byLevel[lvl]) > 0 {
+			c.stages = append(c.stages, byLevel[lvl])
+		}
+	}
+	if len(miscIdx) > 0 {
+		c.stages = append(c.stages, miscIdx)
+	}
+}
+
+// Stages reports the parallel init-stage step names (nil unless the
+// config asked for ParallelInit) — tests assert the ordering invariants
+// against it.
+func (c *Context) Stages() [][]string {
+	if c.stages == nil {
+		return nil
+	}
+	out := make([][]string, len(c.stages))
+	for i, idxs := range c.stages {
+		for _, idx := range idxs {
+			out[i] = append(out[i], c.steps[idx].name)
+		}
+	}
+	return out
 }
 
 // Boot runs the precomputed pipeline on machine m and returns the
 // booted VM. All time costs are charged to m's clock; the Report
 // additionally itemizes them.
 func (c *Context) Boot(m *sim.Machine) (*VM, error) {
-	vm := &VM{Machine: m, Platform: c.cfg.Platform, Config: c.cfg, Regions: c.regions}
+	vm := &VM{Machine: m, Platform: c.cfg.Platform, Config: c.cfg, Regions: c.regions, InitLibs: c.initLibs}
 
 	// --- VMM phase -----------------------------------------------------
 	vmmStart := m.CPU.Cycles()
@@ -234,38 +363,108 @@ func (c *Context) Boot(m *sim.Machine) (*VM, error) {
 
 	// --- Guest phase ---------------------------------------------------
 	guestStart := m.CPU.Cycles()
-	vm.Report.Steps = make([]Step, 0, len(c.steps))
-	for _, st := range c.steps {
-		s := m.CPU.Cycles()
-		switch st.kind {
-		case stepCharge, stepSched:
-			m.Charge(st.cycles)
-			if st.kind == stepSched {
-				vm.Sched = uksched.New(c.cfg.Scheduler, m)
+	if c.stages == nil {
+		vm.Report.Steps = make([]Step, 0, len(c.steps))
+		for _, st := range c.steps {
+			s := m.CPU.Cycles()
+			if err := c.runStep(vm, m, st); err != nil {
+				return nil, err
 			}
-		case stepChargeDur:
-			m.ChargeDuration(st.dur)
-		case stepPageTable:
-			pt, err := buildPageTable(m.Charge, c.cfg.PTMode, c.cfg.MemBytes)
-			if err != nil {
-				return nil, fmt.Errorf("ukboot: step %s: %w", st.name, err)
-			}
-			vm.PageTable = pt
-		case stepAlloc:
-			a, err := ukalloc.NewInitialized(c.cfg.Allocator, m, c.heapBytes)
-			if err != nil {
-				return nil, fmt.Errorf("ukboot: step %s: %w", st.name, err)
-			}
-			vm.Allocs.Register(a)
-			vm.Heap = a
+			vm.Report.Steps = append(vm.Report.Steps, Step{
+				Name:     st.name,
+				Duration: m.CPU.Duration(m.CPU.Cycles() - s),
+			})
 		}
-		vm.Report.Steps = append(vm.Report.Steps, Step{
-			Name:     st.name,
-			Duration: m.CPU.Duration(m.CPU.Cycles() - s),
-		})
+	} else if err := c.bootStaged(vm, m); err != nil {
+		return nil, err
 	}
 	vm.Report.Guest = m.CPU.Duration(m.CPU.Cycles() - guestStart)
 	return vm, nil
+}
+
+// runStep executes one boot step, charging its cost and building any
+// stateful pieces (page table, heap allocator, scheduler).
+func (c *Context) runStep(vm *VM, m *sim.Machine, st ctxStep) error {
+	switch st.kind {
+	case stepCharge, stepSched:
+		m.Charge(st.cycles)
+		if st.kind == stepSched {
+			vm.Sched = uksched.New(c.cfg.Scheduler, m)
+		}
+	case stepChargeDur:
+		m.ChargeDuration(st.dur)
+	case stepPageTable:
+		pt, err := buildPageTable(m.Charge, c.cfg.PTMode, c.cfg.MemBytes)
+		if err != nil {
+			return fmt.Errorf("ukboot: step %s: %w", st.name, err)
+		}
+		vm.PageTable = pt
+	case stepAlloc:
+		a, err := ukalloc.NewInitialized(c.cfg.Allocator, m, c.heapBytes)
+		if err != nil {
+			return fmt.Errorf("ukboot: step %s: %w", st.name, err)
+		}
+		vm.Allocs.Register(a)
+		vm.Heap = a
+	}
+	return nil
+}
+
+// bootStaged replays the guest pipeline stage by stage: singleton
+// stages run exactly like the sequential path; a multi-step stage
+// models its members initializing concurrently, so the stage charges
+// the max member cost instead of the sum. Stateful members (scheduler
+// creation) still run — only the time accounting is parallel.
+func (c *Context) bootStaged(vm *VM, m *sim.Machine) error {
+	vm.Report.Steps = make([]Step, 0, len(c.stages))
+	for _, idxs := range c.stages {
+		s := m.CPU.Cycles()
+		if len(idxs) == 1 {
+			st := c.steps[idxs[0]]
+			if err := c.runStep(vm, m, st); err != nil {
+				return err
+			}
+			vm.Report.Steps = append(vm.Report.Steps, Step{
+				Name:     st.name,
+				Duration: m.CPU.Duration(m.CPU.Cycles() - s),
+			})
+			continue
+		}
+		var max uint64
+		name := "stage("
+		for i, idx := range idxs {
+			st := c.steps[idx]
+			var cyc uint64
+			switch st.kind {
+			case stepCharge:
+				cyc = st.cycles
+			case stepChargeDur:
+				cyc = m.CPU.ToCycles(st.dur)
+			case stepSched:
+				cyc = st.cycles
+				vm.Sched = uksched.New(c.cfg.Scheduler, m)
+			default:
+				// Stateful steps (page table, allocator) must stay in
+				// the sequential prefix; reaching one here means
+				// computeStages regressed, and silently skipping it
+				// would boot a VM with no heap.
+				return fmt.Errorf("ukboot: stateful step %s in a parallel stage", st.name)
+			}
+			if cyc > max {
+				max = cyc
+			}
+			if i > 0 {
+				name += "+"
+			}
+			name += st.name
+		}
+		m.Charge(max)
+		vm.Report.Steps = append(vm.Report.Steps, Step{
+			Name:     name + ")",
+			Duration: m.CPU.Duration(m.CPU.Cycles() - s),
+		})
+	}
+	return nil
 }
 
 // HeapBytes reports the size of the heap region instances booted from
@@ -319,10 +518,31 @@ func (vm *VM) Close() {
 	}
 }
 
+// SnapshotPrivateBytes is the guest memory a forked clone must hold
+// beyond a plain boot's demand: private copies of every page-table page
+// it can privatize while faulting in its whole address space (one PML4
+// plus the PDPT/PD/PT pages covering MemBytes). A clone that boots
+// without this reserve can run out of frames mid-fault — which is why
+// MinMemory adds it for SnapshotBoot configs.
+func SnapshotPrivateBytes(cfg Config) int {
+	if cfg.PTMode == PTNone {
+		return 0
+	}
+	ceil := func(a, b int) int { return (a + b - 1) / b }
+	pages := ceil(cfg.MemBytes, PageSize)
+	pt := ceil(pages, entryCount)
+	pd := ceil(pt, entryCount)
+	pdpt := ceil(pd, entryCount)
+	return (1 + pdpt + pd + pt) * PageSize
+}
+
 // MinMemory probes the smallest total guest memory (in the platform's
 // granularity) at which cfg boots and the application can allocate
 // appFloor bytes of startup heap — the Fig 11 measurement ("minimum
-// amount of memory required to boot various applications").
+// amount of memory required to boot various applications"). For
+// SnapshotBoot configs the probe additionally reserves the forked
+// clone's private page-table pages (SnapshotPrivateBytes), so the
+// reported minimum is safe for fork-instantiated instances too.
 func MinMemory(cfg Config, appFloor int) (int, error) {
 	gran := cfg.Platform.MemGranularity
 	if gran <= 0 {
@@ -345,6 +565,12 @@ func bootsWithFloor(cfg Config, appFloor int) bool {
 		return false
 	}
 	defer vm.Close()
+	if cfg.SnapshotBoot {
+		// A forked clone's page-table copies come out of guest memory:
+		// reserve them up front so the probed minimum can never admit a
+		// clone that would run out of frames while faulting in.
+		appFloor += SnapshotPrivateBytes(cfg)
+	}
 	// Simulate app startup allocations in 64KiB chunks (buffers, pools,
 	// arenas) — all must succeed for the app to come up.
 	const chunk = 64 << 10

@@ -22,6 +22,11 @@ const (
 	pteP  = 1 << 0 // present
 	pteRW = 1 << 1 // writable
 	ptePS = 1 << 7 // huge page (unused: the guest maps 4KiB pages)
+	// pteCOW is a software bit (x86-64 leaves 9-11 to the OS): the page
+	// is shared with a snapshot template and must be copied on the first
+	// write. Entries carrying it have pteRW cleared so real hardware
+	// would fault exactly where WriteFault charges.
+	pteCOW = 1 << 9
 )
 
 // ErrUnmapped is returned by Translate for addresses without a mapping.
@@ -41,6 +46,22 @@ type PageTable struct {
 	Tables int
 	// Mapped counts 4KiB mappings installed.
 	Mapped int
+
+	// COW clone state (zero for ordinary tables). owned marks the table
+	// pages this clone allocated privately; every other reachable table
+	// still belongs to the snapshot template and must be copied before
+	// any entry in it changes. privBase is the guest-physical base the
+	// clone's private page copies are placed at (beyond the template's
+	// identity-mapped memory, so a faulted page translates to a visibly
+	// different frame than the shared original).
+	owned    map[*table]bool
+	privBase uint64
+	// SharedTables counts template table pages this clone still
+	// references; PrivateTables counts path copies made by write faults;
+	// PrivatePages counts 4KiB data pages copied on first write.
+	SharedTables  int
+	PrivateTables int
+	PrivatePages  int
 }
 
 // NewPageTable returns an empty 4-level table (one PML4 page).
@@ -58,21 +79,45 @@ func indices(virt uint64) (i4, i3, i2, i1 int) {
 }
 
 // walk returns the PT-level table for virt, allocating interior tables
-// as needed.
+// as needed. On a COW clone, shared interior tables are privatized
+// before being returned so no mutation can ever reach the template.
 func (pt *PageTable) walk(virt uint64) *table {
 	i4, i3, i2, _ := indices(virt)
 	t := pt.root
 	for _, idx := range []int{i4, i3, i2} {
 		child := t.children[idx]
-		if child == nil {
+		switch {
+		case child == nil:
 			child = &table{}
 			t.children[idx] = child
 			t.entries[idx] = pteP | pteRW // interior entries: present+rw
 			pt.Tables++
+			if pt.owned != nil {
+				pt.owned[child] = true
+			}
+		case pt.owned != nil && !pt.owned[child]:
+			child = pt.privatize(t, idx, child)
 		}
 		t = child
 	}
 	return t
+}
+
+// privatize replaces the shared child table at parent.children[idx]
+// with a private copy owned by this clone (entries and grandchildren
+// pointers are copied shallowly — grandchildren stay shared until they
+// are privatized in turn). Callers on the calibrated fault path charge
+// cowTableCopyCycles per copy; the walk/Unmap safety paths privatize
+// uncharged — they exist so stray mutations cannot reach the template,
+// not as a modeled boot cost.
+func (pt *PageTable) privatize(parent *table, idx int, shared *table) *table {
+	cp := &table{entries: shared.entries, children: shared.children}
+	parent.children[idx] = cp
+	pt.owned[cp] = true
+	pt.Tables++
+	pt.PrivateTables++
+	pt.SharedTables--
+	return cp
 }
 
 // Map installs an identity-style mapping of length bytes from virt to
@@ -113,15 +158,21 @@ func (pt *PageTable) Translate(virt uint64) (uint64, error) {
 	return e&^uint64(0xfff) | virt&0xfff, nil
 }
 
-// Unmap removes the mapping for one page.
+// Unmap removes the mapping for one page. On a COW clone the path is
+// privatized first, so the unmap never reaches the template or sibling
+// clones.
 func (pt *PageTable) Unmap(virt uint64) error {
 	i4, i3, i2, i1 := indices(virt)
 	t := pt.root
 	for _, idx := range []int{i4, i3, i2} {
-		if t.children[idx] == nil {
+		child := t.children[idx]
+		if child == nil {
 			return ErrUnmapped
 		}
-		t = t.children[idx]
+		if pt.owned != nil && !pt.owned[child] {
+			child = pt.privatize(t, idx, child)
+		}
+		t = child
 	}
 	if t.entries[i1]&pteP == 0 {
 		return ErrUnmapped
@@ -171,6 +222,121 @@ const (
 	// noPTCycles: protected-mode setup without paging.
 	noPTCycles = 18_000
 )
+
+// COW fork calibration, in cycles at 3.6GHz.
+const (
+	// cowFaultCycles is one copy-on-write fault: the write traps to the
+	// hypervisor (VM-exit class, ~1.2us), the 4KiB page is copied
+	// (~256 cycles at 16B/cycle) and the PTE is rewritten writable.
+	cowFaultCycles = 4_700
+	// cowTableCopyCycles copies one 512-entry page-table page while
+	// privatizing the fault path (no exit: the table copy happens inside
+	// the fault that is already being serviced).
+	cowTableCopyCycles = 400
+	// forkRootCycles sets up a clone's private PML4 and loads CR3.
+	forkRootCycles = 2_000
+)
+
+// privatePhysBase is where a clone's private page copies are placed in
+// guest-physical space: 1TiB, far beyond any guest memory this model
+// boots, so a faulted page visibly translates to a different frame than
+// the template's shared original.
+const privatePhysBase = uint64(1) << 40
+
+// MarkCOW freezes pt as an immutable snapshot template: every present
+// leaf mapping loses its write bit and gains the software COW mark, so
+// clones produced by Fork trap (WriteFault) on first write. Returns the
+// number of pages marked. Marking is idempotent.
+func (pt *PageTable) MarkCOW() int {
+	marked := 0
+	var mark func(t *table, level int)
+	mark = func(t *table, level int) {
+		if t == nil {
+			return
+		}
+		if level == 1 { // PT level: leaf entries
+			for i, e := range t.entries {
+				if e&pteP != 0 {
+					t.entries[i] = e&^uint64(pteRW) | pteCOW
+					marked++
+				}
+			}
+			return
+		}
+		for _, c := range t.children {
+			mark(c, level-1)
+		}
+	}
+	mark(pt.root, 4)
+	return marked
+}
+
+// Fork returns a copy-on-write clone of a MarkCOW'd template: the clone
+// gets a private root (PML4) whose entries point at the template's
+// shared lower-level tables; charge receives the root-copy cost. Every
+// mapping is shared until the clone's first write to it — WriteFault
+// privatizes the path (PDPT/PD/PT copies) and the data page. The
+// template itself must never be written again; MarkCOW enforces that
+// for real hardware and the clone's bookkeeping enforces it here.
+func (pt *PageTable) Fork(charge func(uint64)) *PageTable {
+	root := &table{entries: pt.root.entries, children: pt.root.children}
+	clone := &PageTable{
+		root:         root,
+		Tables:       1,
+		Mapped:       pt.Mapped,
+		owned:        map[*table]bool{root: true},
+		privBase:     privatePhysBase,
+		SharedTables: pt.Tables - 1,
+	}
+	if charge != nil {
+		charge(forkRootCycles)
+	}
+	return clone
+}
+
+// IsForked reports whether pt is a COW clone produced by Fork.
+func (pt *PageTable) IsForked() bool { return pt.owned != nil }
+
+// WriteFault services the clone's first write to the page containing
+// virt: the path from the root to the leaf is privatized (shared
+// PDPT/PD/PT pages copied), the data page is copied to a private frame
+// and the PTE is rewritten writable. Costs are charged through charge
+// (which may be nil). The second and later writes to the same page find
+// a writable private mapping and return copied=false at no cost —
+// exactly the fault-once semantics that make fork boots cheap.
+func (pt *PageTable) WriteFault(charge func(uint64), virt uint64) (copied bool, err error) {
+	if pt.owned == nil {
+		return false, nil // not a clone: all mappings are already private
+	}
+	i4, i3, i2, i1 := indices(virt)
+	t := pt.root
+	for _, idx := range []int{i4, i3, i2} {
+		child := t.children[idx]
+		if child == nil {
+			return false, ErrUnmapped
+		}
+		if !pt.owned[child] {
+			child = pt.privatize(t, idx, child)
+			if charge != nil {
+				charge(cowTableCopyCycles)
+			}
+		}
+		t = child
+	}
+	e := t.entries[i1]
+	if e&pteP == 0 {
+		return false, ErrUnmapped
+	}
+	if e&pteCOW == 0 {
+		return false, nil // already private and writable
+	}
+	t.entries[i1] = pt.privBase + uint64(pt.PrivatePages)*PageSize | pteP | pteRW
+	pt.PrivatePages++
+	if charge != nil {
+		charge(cowFaultCycles)
+	}
+	return true, nil
+}
 
 // buildPageTable constructs (for PTDynamic) or activates (PTStatic) the
 // guest page table for memBytes of RAM, charging the calibrated cost,

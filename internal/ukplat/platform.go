@@ -34,6 +34,19 @@ type Platform struct {
 	// "boot times are slightly longer but do not exceed 1ms", §5.1).
 	GuestExtra time.Duration
 
+	// ForkSetup is the monitor-side cost of instantiating a clone from a
+	// captured snapshot instead of cold-starting the monitor: mapping the
+	// template's guest memory copy-on-write, restoring vCPU and device
+	// state, and resuming. Orders of magnitude below VMMSetup — the
+	// snapshot path skips machine model construction, firmware/ROM setup
+	// and device probing (cf. Firecracker snapshot-restore and the uTNT
+	// mass-instantiation numbers).
+	ForkSetup time.Duration
+	// ForkNICSetup is the additional monitor-side cost per NIC when
+	// forking: the tap/vhost plumbing already exists in the template, so
+	// only per-clone queue remapping remains.
+	ForkNICSetup time.Duration
+
 	// Hypercall is the guest->host transition cost for this platform
 	// (virtqueue kick, Xen event channel, ...).
 	Hypercall time.Duration
@@ -61,6 +74,8 @@ var (
 		Name: "kvm", VMM: "qemu",
 		VMMSetup:        38300 * time.Microsecond,
 		NICSetup:        4000 * time.Microsecond,
+		ForkSetup:       4800 * time.Microsecond,
+		ForkNICSetup:    500 * time.Microsecond,
 		Hypercall:       1200 * time.Nanosecond,
 		Mount9pfs:       300 * time.Microsecond,
 		MemGranularity:  1 << 20,
@@ -72,6 +87,8 @@ var (
 		Name: "kvm", VMM: "qemu-microvm",
 		VMMSetup:        9000 * time.Microsecond,
 		NICSetup:        2500 * time.Microsecond,
+		ForkSetup:       1400 * time.Microsecond,
+		ForkNICSetup:    300 * time.Microsecond,
 		Hypercall:       1200 * time.Nanosecond,
 		Mount9pfs:       300 * time.Microsecond,
 		MemGranularity:  1 << 20,
@@ -84,6 +101,8 @@ var (
 		Name: "kvm", VMM: "firecracker",
 		VMMSetup:        2400 * time.Microsecond,
 		NICSetup:        1200 * time.Microsecond,
+		ForkSetup:       400 * time.Microsecond,
+		ForkNICSetup:    150 * time.Microsecond,
 		GuestExtra:      600 * time.Microsecond,
 		Hypercall:       1500 * time.Nanosecond,
 		Mount9pfs:       300 * time.Microsecond,
@@ -96,6 +115,8 @@ var (
 		Name: "solo5", VMM: "solo5-hvt",
 		VMMSetup:        3050 * time.Microsecond,
 		NICSetup:        800 * time.Microsecond,
+		ForkSetup:       520 * time.Microsecond,
+		ForkNICSetup:    120 * time.Microsecond,
 		Hypercall:       1000 * time.Nanosecond,
 		Mount9pfs:       300 * time.Microsecond,
 		MemGranularity:  1 << 20,
@@ -109,6 +130,8 @@ var (
 		Name: "xen", VMM: "xl",
 		VMMSetup:        125000 * time.Microsecond,
 		NICSetup:        9000 * time.Microsecond,
+		ForkSetup:       14000 * time.Microsecond,
+		ForkNICSetup:    1100 * time.Microsecond,
 		Hypercall:       900 * time.Nanosecond,
 		Mount9pfs:       2700 * time.Microsecond,
 		MemGranularity:  1 << 20,
@@ -121,6 +144,7 @@ var (
 	LinuxUserspace = Platform{
 		Name: "linuxu", VMM: "none",
 		VMMSetup:        500 * time.Microsecond, // fork+exec+ld.so
+		ForkSetup:       80 * time.Microsecond,  // plain fork(), COW by the host kernel
 		Hypercall:       62 * time.Nanosecond,   // a host syscall (Table 1)
 		Mount9pfs:       50 * time.Microsecond,
 		MemGranularity:  4 << 10,

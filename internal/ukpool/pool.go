@@ -67,6 +67,15 @@ type Config struct {
 	// (VM-exit-class cost) over a batch of n requests, the Spec's
 	// WithTxBatch (default 1: one pair of kicks per request).
 	KickBatch int
+	// ForkBoot, when set, replaces every instance instantiation (warm
+	// floor, demand cold boots, autoscaler scale-ups) with a
+	// snapshot-fork clone — the Spec's WithSnapshotBoot plumbed into the
+	// fleet. The template belongs to whoever built the pool; see
+	// WithOnClose for releasing it.
+	ForkBoot BootFunc
+	// OnClose runs once when the pool is closed — the hook the runtime
+	// uses to release the pool-owned snapshot template.
+	OnClose func()
 }
 
 // Option adjusts a Config.
@@ -118,6 +127,17 @@ func WithZeroCopy() Option { return func(c *Config) { c.ZeroCopy = true } }
 // WithKickBatch amortizes per-request virtqueue kicks over batches of n
 // requests (n <= 1 means one kick pair per request).
 func WithKickBatch(n int) Option { return func(c *Config) { c.KickBatch = n } }
+
+// WithForkBoot makes the fleet instantiate instances by snapshot-fork
+// instead of the full boot pipeline. The fork func must satisfy the
+// same contract as the pool's BootFunc (own machine per call, unique
+// deterministic ids).
+func WithForkBoot(fork BootFunc) Option { return func(c *Config) { c.ForkBoot = fork } }
+
+// WithOnClose registers a hook run once by Pool.Close — used to release
+// pool-owned resources such as the snapshot template behind a fork
+// boot.
+func WithOnClose(fn func()) Option { return func(c *Config) { c.OnClose = fn } }
 
 // instance is one booted unikernel in the fleet.
 type instance struct {
@@ -257,15 +277,22 @@ func (p *Pool) Idle() int {
 	return p.idle.len()
 }
 
-// Close retires every instance. The pool must not be serving.
+// Close retires every instance and runs the OnClose hook (releasing
+// the snapshot template behind a fork-boot pool). The pool must not be
+// serving.
 func (p *Pool) Close() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	for _, inst := range p.fleet {
 		inst.vm.Close()
 	}
+	runHook := !p.closed && p.cfg.OnClose != nil
 	p.fleet, p.closed = nil, true
 	p.idle.reset()
+	p.mu.Unlock()
+	// Outside the lock: a hook that inspects the pool must not deadlock.
+	if runHook {
+		p.cfg.OnClose()
+	}
 }
 
 // Report is the outcome of one Serve run.
@@ -277,6 +304,10 @@ type Report struct {
 	// instance; ColdBoots counts requests that paid a full boot;
 	// Queued counts requests that waited for an instance to free up.
 	WarmHits, ColdBoots, Queued int
+	// ForkBoots counts instantiations (warm floor, demand cold boots and
+	// scale-ups alike) that went through the snapshot-fork path instead
+	// of the full boot pipeline.
+	ForkBoots int
 	// Resets counts warm-instance heap recycles; Retired counts
 	// instances the autoscaler shut down.
 	Resets, Retired int
@@ -293,6 +324,10 @@ type Report struct {
 	// boots); Latency holds end-to-end request latencies (queue wait +
 	// boot wait + service).
 	Boot Histogram
+	// ColdBoot holds only the demand-driven cold instantiations —
+	// the boots a request actually waited on — so serve reports quote
+	// cold-start p50/p99 separately from prewarm and scale-up boots.
+	ColdBoot Histogram
 	// Latency holds end-to-end request latencies.
 	Latency Histogram
 }
@@ -320,6 +355,7 @@ func (r *Report) Merge(o *Report) {
 	r.Requests += o.Requests
 	r.WarmHits += o.WarmHits
 	r.ColdBoots += o.ColdBoots
+	r.ForkBoots += o.ForkBoots
 	r.Queued += o.Queued
 	r.Resets += o.Resets
 	r.Retired += o.Retired
@@ -331,21 +367,30 @@ func (r *Report) Merge(o *Report) {
 		r.Duration = o.Duration
 	}
 	r.Boot.Merge(&o.Boot)
+	r.ColdBoot.Merge(&o.ColdBoot)
 	r.Latency.Merge(&o.Latency)
 }
 
 // String renders the multi-line summary ukserve prints.
 func (r *Report) String() string {
-	return fmt.Sprintf(
+	routing := fmt.Sprintf("routing  warm=%d (%.2f%%) cold=%d queued=%d",
+		r.WarmHits, 100*r.WarmHitRatio(), r.ColdBoots, r.Queued)
+	if r.ForkBoots > 0 {
+		routing += fmt.Sprintf(" forked=%d", r.ForkBoots)
+	}
+	out := fmt.Sprintf(
 		"served   %d requests in %v (%.0f req/s)\n"+
-			"routing  warm=%d (%.2f%%) cold=%d queued=%d\n"+
+			"%s\n"+
 			"fleet    peak=%d final=%d scale-ups=%d scale-downs=%d retired=%d resets=%d\n"+
-			"boot     %v\n"+
-			"latency  %v",
+			"boot     %v\n",
 		r.Requests, r.Duration.Round(time.Microsecond), r.Throughput(),
-		r.WarmHits, 100*r.WarmHitRatio(), r.ColdBoots, r.Queued,
+		routing,
 		r.PeakInstances, r.FinalInstances, r.ScaleUps, r.ScaleDowns, r.Retired, r.Resets,
-		&r.Boot, &r.Latency)
+		&r.Boot)
+	if r.ColdBoot.Count > 0 {
+		out += fmt.Sprintf("coldboot %v\n", &r.ColdBoot)
+	}
+	return out + fmt.Sprintf("latency  %v", &r.Latency)
 }
 
 // serveState is the per-Serve bookkeeping threaded through the event
@@ -369,8 +414,24 @@ type serveState struct {
 
 	// autoscaler window
 	winArrivals int
+	winCold     int
 	winLat      Histogram
 	ewmaService time.Duration
+	// ewmaBoot tracks instantiation cost (full boots or forks): the
+	// autoscaler's Little's-law sizing includes the boot residence of
+	// the window's cold share, so a cheaper cold boot — the snapshot
+	// fork — directly shrinks the warm set the controller keeps.
+	ewmaBoot time.Duration
+}
+
+// observeBoot feeds one instantiation time into the autoscaler's boot
+// cost model (alpha = 1/8, like the service EWMA).
+func (st *serveState) observeBoot(d time.Duration) {
+	if st.ewmaBoot == 0 {
+		st.ewmaBoot = d
+	} else {
+		st.ewmaBoot += (d - st.ewmaBoot) / 8
+	}
 }
 
 // arrivalEvent delivers the next workload request; exactly one is
@@ -489,7 +550,11 @@ func (p *Pool) serveLocked(w Workload) (*Report, error) {
 	}
 	for _, inst := range insts {
 		st.rep.Boot.Record(inst.bootDur)
+		st.observeBoot(inst.bootDur)
 		p.idle.pushBack(inst)
+	}
+	if p.cfg.ForkBoot != nil {
+		st.rep.ForkBoots += len(insts)
 	}
 	st.rep.PeakInstances = len(p.fleet)
 
@@ -557,9 +622,17 @@ func (p *Pool) ServeParallel(w Workload, shards int) (*Report, error) {
 		cfg.MinWarm = ceil(cfg.MinWarm)
 		cfg.MaxInstances = ceil(cfg.MaxInstances)
 		cfg.ColdBurst = ceil(cfg.ColdBurst)
+		// The template (and its OnClose hook) stays with the parent:
+		// children remap instance ids into the parent's fork/boot funcs
+		// and must not release shared state when they close.
+		cfg.OnClose = nil
 		shard := s
+		remap := func(id int) int { return base + id*shards + shard }
+		if fork := p.cfg.ForkBoot; fork != nil {
+			cfg.ForkBoot = func(id int) (*ukboot.VM, error) { return fork(remap(id)) }
+		}
 		children[s] = &Pool{cfg: cfg, boot: func(id int) (*ukboot.VM, error) {
-			return p.boot(base + id*shards + shard)
+			return p.boot(remap(id))
 		}}
 	}
 
@@ -629,12 +702,18 @@ func (p *Pool) arrive(st *serveState, req Request, now time.Duration) {
 		p.startService(st, inst, req, now)
 	case len(p.fleet) < p.cfg.MaxInstances && st.booting < p.cfg.ColdBurst:
 		st.rep.ColdBoots++
+		st.winCold++
 		inst, err := p.bootOne()
 		if err != nil {
 			st.err = fmt.Errorf("ukpool: cold boot: %w", err)
 			break
 		}
+		if p.cfg.ForkBoot != nil {
+			st.rep.ForkBoots++
+		}
 		st.rep.Boot.Record(inst.bootDur)
+		st.rep.ColdBoot.Record(inst.bootDur)
+		st.observeBoot(inst.bootDur)
 		if len(p.fleet) > st.rep.PeakInstances {
 			st.rep.PeakInstances = len(p.fleet)
 		}
@@ -720,7 +799,16 @@ func (p *Pool) tick(st *serveState, now time.Duration) {
 	rate := float64(st.winArrivals) / p.cfg.ScaleWindow.Seconds()
 	desired := p.cfg.MinWarm
 	if st.ewmaService > 0 {
-		need := int(math.Ceil(rate * st.ewmaService.Seconds() * p.cfg.Headroom))
+		// Little's law over the effective residence time: service plus
+		// the boot latency paid by the window's cold share. Expensive
+		// boots make misses costly, so the controller holds more warm
+		// capacity; snapshot forks shrink the term — and the fleet —
+		// for the same traffic.
+		eff := st.ewmaService
+		if st.winArrivals > 0 && st.winCold > 0 && st.ewmaBoot > 0 {
+			eff += time.Duration(float64(st.ewmaBoot) * float64(st.winCold) / float64(st.winArrivals))
+		}
+		need := int(math.Ceil(rate * eff.Seconds() * p.cfg.Headroom))
 		if need > desired {
 			desired = need
 		}
@@ -743,8 +831,12 @@ func (p *Pool) tick(st *serveState, now time.Duration) {
 			st.err = fmt.Errorf("ukpool: scale-up: %w", err)
 			return
 		}
+		if p.cfg.ForkBoot != nil {
+			st.rep.ForkBoots += len(insts)
+		}
 		for _, inst := range insts {
 			st.rep.Boot.Record(inst.bootDur)
+			st.observeBoot(inst.bootDur)
 			st.booting++
 			inst.ev = instEvent{p: p, st: st, inst: inst, kind: evReady}
 			st.loop.ScheduleAt(now+inst.bootDur, &inst.ev)
@@ -765,6 +857,7 @@ func (p *Pool) tick(st *serveState, now time.Duration) {
 	}
 
 	st.winArrivals = 0
+	st.winCold = 0
 	st.winLat = Histogram{}
 	if !st.wDone || st.busy > 0 || st.booting > 0 || st.queue.len() > 0 {
 		st.loop.ScheduleAfter(p.cfg.ScaleWindow, &st.tickEv)
@@ -801,12 +894,21 @@ func (p *Pool) retire(inst *instance) {
 	inst.vm.Close()
 }
 
+// spawn instantiates one fresh instance: the snapshot-fork path when
+// the pool has one, the full boot pipeline otherwise.
+func (p *Pool) spawn(id int) (*ukboot.VM, error) {
+	if p.cfg.ForkBoot != nil {
+		return p.cfg.ForkBoot(id)
+	}
+	return p.boot(id)
+}
+
 // bootOne boots a single instance and adds it to the fleet (not idle:
 // the caller owns routing it).
 func (p *Pool) bootOne() (*instance, error) {
 	id := p.nextID
 	p.nextID++
-	vm, err := p.boot(id)
+	vm, err := p.spawn(id)
 	if err != nil {
 		return nil, err
 	}
@@ -832,7 +934,7 @@ func (p *Pool) bootBatch(n int) ([]*instance, error) {
 		wg.Add(1)
 		go func(slot, id int) {
 			defer wg.Done()
-			vm, err := p.boot(id)
+			vm, err := p.spawn(id)
 			if err != nil {
 				errs[slot] = err
 				return

@@ -31,6 +31,118 @@ func testBoot(t testing.TB) BootFunc {
 	}
 }
 
+// testForkOpts returns fork-boot pool options over a snapshot of the
+// same context testBoot uses, plus the snapshot itself for inspection.
+func testForkOpts(t testing.TB) ([]Option, *ukboot.Snapshot) {
+	t.Helper()
+	ctx, err := ukboot.NewContext(ukboot.Config{
+		Platform:   ukplat.KVMFirecracker,
+		MemBytes:   8 << 20,
+		ImageBytes: 1 << 20,
+		Allocator:  "tlsf",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ctx.Snapshot(sim.NewMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork := func(id int) (*ukboot.VM, error) {
+		return ctx.Fork(sim.NewMachineWithSeed(uint64(id)), snap)
+	}
+	return []Option{WithForkBoot(fork), WithOnClose(snap.Close)}, snap
+}
+
+// TestForkBootLowersColdLatency: the same bursty trace through a
+// full-boot fleet and a fork-boot fleet — the fork pool's cold-start
+// p99 and end-to-end p99 must both drop, every instantiation must go
+// through the fork path, and the run must stay deterministic.
+func TestForkBootLowersColdLatency(t *testing.T) {
+	wl := func() Workload {
+		return NewBursty(7, 20_000, 400_000, 100*time.Millisecond, 0.2, 60_000, 128)
+	}
+	serve := func(opts ...Option) *Report {
+		p := New(testBoot(t), append([]Option{WithWarm(4), WithMaxInstances(128), WithColdBurst(4)}, opts...)...)
+		defer p.Close()
+		rep, err := p.Serve(wl())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	boot := serve()
+	forkOpts, _ := testForkOpts(t)
+	fork := serve(forkOpts...)
+
+	if fork.ForkBoots == 0 || fork.ForkBoots != int(fork.Boot.Count) {
+		t.Errorf("fork pool booted %d of %d instantiations via fork", fork.ForkBoots, fork.Boot.Count)
+	}
+	if boot.ForkBoots != 0 {
+		t.Errorf("full-boot pool reports %d forks", boot.ForkBoots)
+	}
+	if fork.ColdBoot.Count == 0 || boot.ColdBoot.Count == 0 {
+		t.Fatalf("bursty trace produced no cold boots (fork=%d boot=%d)", fork.ColdBoot.Count, boot.ColdBoot.Count)
+	}
+	fb, bb := fork.ColdBoot.Quantile(0.99), boot.ColdBoot.Quantile(0.99)
+	if 2*fb > bb {
+		t.Errorf("fork cold-boot p99 %v not well below full boot %v", fb, bb)
+	}
+	fl, bl := fork.Latency.Quantile(0.99), boot.Latency.Quantile(0.99)
+	if fl >= bl {
+		t.Errorf("fork p99 latency %v not below full-boot p99 %v", fl, bl)
+	}
+
+	// Determinism and shards=1 equivalence hold with forks in play.
+	again := serve(forkOpts...)
+	if !reflect.DeepEqual(fork, again) {
+		t.Errorf("fork-boot serve not deterministic:\n%v\nvs\n%v", fork, again)
+	}
+	p := New(testBoot(t), append([]Option{WithWarm(4), WithMaxInstances(128), WithColdBurst(4)}, forkOpts...)...)
+	defer p.Close()
+	one, err := p.ServeParallel(wl(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, fork) {
+		t.Errorf("ServeParallel(1) diverged from Serve with fork boots")
+	}
+}
+
+// TestForkBootServeParallel: sharded serving remaps fork ids like boot
+// ids and merges deterministically.
+func TestForkBootServeParallel(t *testing.T) {
+	forkOpts, _ := testForkOpts(t)
+	opts := append([]Option{WithWarm(8), WithMaxInstances(64)}, forkOpts...)
+	run := func() *Report {
+		p := New(testBoot(t), opts...)
+		defer p.Close()
+		rep, err := p.ServeParallel(NewPoisson(3, 200_000, 40_000, 128), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("sharded fork-boot runs diverged")
+	}
+	if a.Requests != 40_000 || a.ForkBoots == 0 {
+		t.Errorf("requests=%d forks=%d", a.Requests, a.ForkBoots)
+	}
+}
+
+// TestOnCloseRunsOnce: the template-release hook fires exactly once.
+func TestOnCloseRunsOnce(t *testing.T) {
+	calls := 0
+	p := New(testBoot(t), WithOnClose(func() { calls++ }))
+	p.Close()
+	p.Close()
+	if calls != 1 {
+		t.Errorf("OnClose ran %d times, want 1", calls)
+	}
+}
+
 func TestSteadyLoadServesWarm(t *testing.T) {
 	p := New(testBoot(t), WithWarm(8))
 	defer p.Close()

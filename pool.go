@@ -61,9 +61,12 @@ func (rt *Runtime) NewPool(s Spec, opts ...PoolOption) (*Pool, error) {
 	h := fnv.New64a()
 	h.Write([]byte(s.String()))
 	seed := h.Sum64()
-	boot := func(id int) (*ukboot.VM, error) {
+	machine := func(id int) *sim.Machine {
 		// SplitMix64 increment keeps per-instance seeds well spread.
-		return ctx.Boot(sim.NewMachineWithSeed(seed + uint64(id)*0x9E3779B97F4A7C15))
+		return sim.NewMachineWithSeed(seed + uint64(id)*0x9E3779B97F4A7C15)
+	}
+	boot := func(id int) (*ukboot.VM, error) {
+		return ctx.Boot(machine(id))
 	}
 	// The spec's data-path options feed the pool's per-request cost
 	// model; caller options come after so they can still override.
@@ -73,6 +76,20 @@ func (rt *Runtime) NewPool(s Spec, opts ...PoolOption) (*Pool, error) {
 	}
 	if s.TxKickBatch > 1 {
 		specOpts = append(specOpts, ukpool.WithKickBatch(s.TxKickBatch))
+	}
+	if s.SnapshotBoot {
+		// The pool owns its boot template: one full-pipeline boot at
+		// construction, snapshot-fork clones from then on (warm floor,
+		// demand cold boots and scale-ups alike), released on Close.
+		snap, err := ctx.Snapshot(sim.NewMachineWithSeed(seed))
+		if err != nil {
+			return nil, err
+		}
+		specOpts = append(specOpts,
+			ukpool.WithForkBoot(func(id int) (*ukboot.VM, error) {
+				return ctx.Fork(machine(id), snap)
+			}),
+			ukpool.WithOnClose(snap.Close))
 	}
 	return ukpool.New(boot, append(specOpts, opts...)...), nil
 }
@@ -138,3 +155,10 @@ func WithPoolZeroCopy() PoolOption { return ukpool.WithZeroCopy() }
 // WithPoolKickBatch amortizes per-request virtqueue kicks over batches
 // of n requests (NewPool applies it for specs built with WithTxBatch).
 func WithPoolKickBatch(n int) PoolOption { return ukpool.WithKickBatch(n) }
+
+// WithPoolForkBoot instantiates the fleet by snapshot-fork through the
+// given boot func (NewPool wires it automatically for specs built with
+// WithSnapshotBoot, pointing at a pool-owned template).
+func WithPoolForkBoot(fork func(id int) (*VM, error)) PoolOption {
+	return ukpool.WithForkBoot(fork)
+}

@@ -34,6 +34,22 @@ type Runtime struct {
 	mu        sync.Mutex
 	cached    *core.Catalog
 	cachedGen int64
+
+	// snaps caches one boot template per SnapshotBoot spec, so repeated
+	// Runtime.Boot/Run calls pay the full pipeline once and fork after.
+	snapMu sync.Mutex
+	snaps  map[string]*snapEntry
+}
+
+// snapEntry pairs a prevalidated boot context with the captured
+// template snapshot forks clone from. The capture runs under the
+// entry's own once, so a slow first template boot never serializes
+// cache hits (or captures) for other specs behind the map lock.
+type snapEntry struct {
+	once sync.Once
+	ctx  *ukboot.Context
+	snap *ukboot.Snapshot
+	err  error
 }
 
 // RuntimeOption configures a Runtime at construction.
@@ -256,11 +272,82 @@ func (rt *Runtime) bootConfig(r resolved, s Spec, imageBytes int) ukboot.Config 
 		cfg.PTMode = ukboot.PTDynamic
 	}
 	cfg.Libs = append(ukboot.ProfileLibs(r.profile.NICs, r.profile.Scheduler), s.ExtraLibs...)
+	cfg.ParallelInit = s.InitStages
+	cfg.SnapshotBoot = s.SnapshotBoot
 	return cfg
 }
 
+// Close releases runtime-owned resources: the cached boot templates
+// behind SnapshotBoot specs (one VM-sized arena each). The runtime
+// stays usable — a later SnapshotBoot call simply re-captures its
+// template. Instances and pools handed out earlier are unaffected;
+// clones only share immutable state.
+func (rt *Runtime) Close() {
+	rt.snapMu.Lock()
+	snaps := rt.snaps
+	rt.snaps = nil
+	rt.snapMu.Unlock()
+	for _, e := range snaps {
+		// Do blocks until an in-flight first capture finishes, so a
+		// template booted concurrently with Close is still released.
+		e.once.Do(func() {})
+		if e.snap != nil {
+			e.snap.Close()
+		}
+	}
+}
+
+// snapshotFor returns the cached template snapshot for a boot config,
+// booting and capturing it on first use. The key renders the fully
+// resolved config — not the spec, whose String rounds memory to MiB
+// and whose rendering would go stale when RegisterApp/RegisterLibrary
+// changes what it resolves to. Two specs share a template exactly when
+// they boot identically (e.g. differing only in data-path knobs), and
+// a registry change that alters the resolved profile re-captures.
+// Close releases the cache.
+func (rt *Runtime) snapshotFor(cfg ukboot.Config) (*snapEntry, error) {
+	key := fmt.Sprintf("%+v", cfg)
+	for {
+		rt.snapMu.Lock()
+		e, ok := rt.snaps[key]
+		if !ok {
+			e = &snapEntry{}
+			if rt.snaps == nil {
+				rt.snaps = map[string]*snapEntry{}
+			}
+			rt.snaps[key] = e
+		}
+		rt.snapMu.Unlock()
+		e.once.Do(func() {
+			ctx, err := ukboot.NewContext(cfg)
+			if err != nil {
+				e.err = err
+				return
+			}
+			snap, err := ctx.Snapshot(rt.newMachine())
+			if err != nil {
+				e.err = err
+				return
+			}
+			e.ctx, e.snap = ctx, snap
+		})
+		if e.err != nil {
+			return nil, e.err
+		}
+		if e.ctx != nil {
+			return e, nil
+		}
+		// A concurrent Close consumed the entry's once before the
+		// capture ran and dropped it from the map; retry with a fresh
+		// entry, as the Close contract promises a re-capture.
+	}
+}
+
 // Run builds the spec's image and boots it on a fresh simulated machine
-// — the whole pipeline in one call. The caller must Close the instance.
+// — the whole pipeline in one call. For SnapshotBoot specs the first
+// Run boots and captures a template; every later Run (and pool cold
+// boot) forks it copy-on-write instead of replaying the pipeline. The
+// caller must Close the instance.
 func (rt *Runtime) Run(s Spec) (*Instance, error) {
 	r, err := rt.resolve(s)
 	if err != nil {
@@ -270,7 +357,19 @@ func (rt *Runtime) Run(s Spec) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	vm, err := ukboot.Boot(rt.newMachine(), rt.bootConfig(r, s, img.Bytes))
+	cfg := rt.bootConfig(r, s, img.Bytes)
+	if s.SnapshotBoot {
+		e, err := rt.snapshotFor(cfg)
+		if err != nil {
+			return nil, err
+		}
+		vm, err := e.ctx.Fork(rt.newMachine(), e.snap)
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Image: img, VM: vm}, nil
+	}
+	vm, err := ukboot.Boot(rt.newMachine(), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -317,6 +416,8 @@ func (rt *Runtime) MinMemory(s Spec) (int, error) {
 		ImageBytes: img.Bytes,
 		PTMode:     ukboot.PTStatic,
 		Allocator:  r.backend,
+		// Forked clones need their private page-table reserve to fit.
+		SnapshotBoot: s.SnapshotBoot,
 	}, floor)
 }
 

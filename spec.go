@@ -59,6 +59,19 @@ type Spec struct {
 	// frame).
 	RxIRQBatch int
 
+	// SnapshotBoot instantiates instances by snapshot-fork: the runtime
+	// boots one template per spec, captures its post-init state, and
+	// clones arrive copy-on-write — charging only the monitor's restore
+	// cost plus private-page faults instead of the full boot pipeline
+	// (Runtime.Boot, Runtime.Run and pool cold boots all fork). Off by
+	// default: the full pipeline is the calibrated Fig 10/14 baseline.
+	SnapshotBoot bool
+
+	// InitStages charges independent boot constructors in topologically
+	// sorted parallel stages (max per stage instead of sum), keeping
+	// the allocator→scheduler→NIC ordering invariants. Off by default.
+	InitStages bool
+
 	// ExtraLibs lists additional micro-libraries whose constructors run
 	// at boot, beyond the ones the profile implies.
 	ExtraLibs []string
@@ -127,6 +140,12 @@ func (s Spec) String() string {
 	}
 	if s.RxIRQBatch > 1 {
 		out += fmt.Sprintf(" irq=%d", s.RxIRQBatch)
+	}
+	if s.SnapshotBoot {
+		out += " +snap"
+	}
+	if s.InitStages {
+		out += " +stages"
 	}
 	if len(s.ExtraLibs) > 0 {
 		out += fmt.Sprintf(" libs=%v", s.ExtraLibs)
@@ -203,6 +222,21 @@ func WithTxBatch(n int) Option {
 // (n <= 1 restores interrupt-per-arrival).
 func WithIRQCoalesce(n int) Option {
 	return func(s *Spec) { s.RxIRQBatch = n }
+}
+
+// WithSnapshotBoot enables snapshot-fork instantiation: one template
+// boot per spec, then copy-on-write clones that skip the lib-init
+// chain. Cold instantiation drops well below the Fig 10 boot times;
+// clones are observationally identical to fresh boots.
+func WithSnapshotBoot() Option {
+	return func(s *Spec) { s.SnapshotBoot = true }
+}
+
+// WithInitStages enables the staged init-table scheduler: independent
+// boot constructors charge max instead of sum, honoring the
+// allocator→scheduler→NIC ordering constraints.
+func WithInitStages() Option {
+	return func(s *Spec) { s.InitStages = true }
 }
 
 // WithExtraLibs appends micro-libraries to initialize at boot.
