@@ -26,6 +26,7 @@ func throughputColumn(header string) bool {
 		strings.Contains(header, "Mp/s") ||
 		strings.Contains(header, "speedup") ||
 		strings.Contains(header, "warm-hit") ||
+		strings.Contains(header, "cache-hit") ||
 		header == "served"
 }
 
@@ -58,6 +59,7 @@ var identityColumns = map[string]bool{
 	"system": true, "setup": true, "mode": true, "datapath": true,
 	"trace": true, "allocator": true, "configuration": true,
 	"source": true, "vmm": true, "platform": true, "app": true,
+	"backend": true,
 }
 
 // rowKey joins the identity cells so baseline and current rows match

@@ -1,5 +1,8 @@
 // Package appstest holds cross-module integration tests: full client/
-// server application flows over the simulated network.
+// server application flows (HTTP, RESP, the UDP key-value protocol)
+// over the simulated network stack and virtio pair — the end-to-end
+// paths whose per-request cycle totals the application experiments
+// (Figs 12/13/15/18, Table 4) turn into throughput numbers.
 package appstest
 
 import (

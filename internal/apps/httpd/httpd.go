@@ -1,9 +1,19 @@
 // Package httpd is the repository's nginx stand-in: an event-driven
-// HTTP/1.1 server with keep-alive over the netstack socket API, serving
-// a static page. It follows nginx's single-worker event-loop structure
-// (the configuration the paper benchmarks on one core), and allocates
+// HTTP/1.1 server with keep-alive over the netstack socket API. It
+// follows nginx's single-worker event-loop structure (the
+// configuration the paper benchmarks on one core), and allocates
 // per-request scratch memory from a ukalloc backend so that the
-// allocator-swap experiments (Fig 15) measure real allocator behaviour.
+// allocator-swap experiments (Fig 15) measure real allocator
+// behaviour.
+//
+// Two serving modes: the fixed 612-byte page (the calibrated Fig 13
+// configuration — its charges must not move) and static-file mode
+// (NewFileServer), where request paths resolve through a FileBackend —
+// vfscore (open/fstat per request at the Fig 22 standard-path cost) or
+// the specialized SHFS volume (~300-cycle hash-probe opens) — and
+// responses either assemble via a copying read or stream zero-copy
+// through Sendfile under TCP_CORK, the fileserve experiment's two
+// datapaths.
 package httpd
 
 import (
@@ -11,7 +21,9 @@ import (
 	"fmt"
 
 	"unikraft/internal/netstack"
+	"unikraft/internal/shfs"
 	"unikraft/internal/ukalloc"
+	"unikraft/internal/vfscore"
 )
 
 // DefaultPage is the 612-byte static page the paper's wrk benchmark
@@ -46,9 +58,19 @@ type Server struct {
 	page  []byte
 	pool  []ukalloc.Ptr // FIFO of live response buffers
 
-	// Requests and Errors count served requests and protocol errors.
+	// files switches the server to static-file mode: request paths
+	// resolve through the backend (open/stat per request, 404 on
+	// misses) instead of the fixed page. sendfile selects the zero-copy
+	// response path (pages handed from the backend straight into socket
+	// writes) over the copying read-into-buffer path.
+	files    FileBackend
+	sendfile bool
+
+	// Requests and Errors count served requests and protocol errors;
+	// NotFound counts 404 responses (file mode).
 	Requests uint64
 	Errors   uint64
+	NotFound uint64
 }
 
 type conn struct {
@@ -67,6 +89,23 @@ func New(stack *netstack.Stack, alloc ukalloc.Allocator, port uint16, page []byt
 		return nil, err
 	}
 	return &Server{stack: stack, alloc: alloc, lis: lis, page: page}, nil
+}
+
+// NewFileServer starts a static-file HTTP server on port: request
+// paths resolve through files (open/stat per request, Content-Length
+// from the stat, 404 for misses). With sendfile set, responses stream
+// file pages zero-copy from the backend into socket writes; otherwise
+// each response is assembled in an allocator-backed buffer via a
+// copying read — the pair of configurations the fileserve experiment
+// measures against each other.
+func NewFileServer(stack *netstack.Stack, alloc ukalloc.Allocator, port uint16, files FileBackend, sendfile bool) (*Server, error) {
+	srv, err := New(stack, alloc, port, nil)
+	if err != nil {
+		return nil, err
+	}
+	srv.files = files
+	srv.sendfile = sendfile
+	return srv, nil
 }
 
 // Poll runs one event-loop iteration: accept new connections, then
@@ -151,6 +190,15 @@ func (s *Server) handleRequest(tc *netstack.TCPConn, req []byte) bool {
 		return keepAlive
 	}
 	s.Requests++
+	if s.files != nil {
+		// A truncated response (send-buffer exhaustion mid-file) poisons
+		// the connection's framing — the only honest signal is closing
+		// it, Content-Length contract broken.
+		if !s.serveFile(tc, string(parts[1]), method) {
+			return false
+		}
+		return keepAlive
+	}
 	// Build the response in an allocator-backed scratch buffer, as
 	// nginx builds response chains from its pools.
 	header := fmt.Sprintf("HTTP/1.1 200 OK\r\nServer: ukhttpd\r\nContent-Length: %d\r\nContent-Type: text/html\r\n\r\n", len(s.page))
@@ -173,12 +221,158 @@ func (s *Server) handleRequest(tc *netstack.TCPConn, req []byte) bool {
 	// Retire the buffer through the FIFO pool rather than immediately:
 	// nginx keeps output-chain buffers alive across keep-alive requests
 	// and recycles pools in bulk.
+	s.retire(p)
+	return keepAlive
+}
+
+// serveFile answers one request in static-file mode: resolve the path
+// through the backend (404 only for missing paths; any other open
+// failure — fd-table exhaustion, I/O errors — is a 500 and counts as a
+// server error), Content-Length from the stat, then either stream
+// pages zero-copy (sendfile) or assemble the response in a pooled
+// allocator buffer (the copying path). It returns false when the
+// response could not be sent in full (the connection must close: the
+// client has a Content-Length promise the server can no longer keep).
+func (s *Server) serveFile(tc *netstack.TCPConn, path, method string) bool {
+	if path == "" || path == "/" {
+		path = "/index.html"
+	}
+	h, size, err := s.files.Open(path)
+	if err != nil {
+		if isNotExist(err) {
+			s.NotFound++
+			return s.writeStatus(tc, "404 Not Found")
+		}
+		s.Errors++
+		return s.writeStatus(tc, "500 Internal Server Error")
+	}
+	defer h.Close()
+	header := fmt.Sprintf("HTTP/1.1 200 OK\r\nServer: ukhttpd\r\nContent-Length: %d\r\nContent-Type: text/html\r\n\r\n", size)
+
+	if s.sendfile && method == "GET" {
+		// Zero-copy response: the header goes out of a small pooled
+		// buffer, then the backend hands file pages straight into
+		// socket writes — no response assembly, no content copy. The
+		// connection is corked around the scattered writes (as nginx
+		// sets TCP_CORK before sendfile) so page-sized emits coalesce
+		// into full-MSS segments instead of one fragment per page.
+		tc.Cork()
+		ok := s.writePooled(tc, []byte(header))
+		if ok {
+			n, err := h.Sendfile(0, size, func(p []byte) error {
+				if !s.writeFull(tc, p) {
+					return netstack.ErrBufferFull
+				}
+				return nil
+			})
+			// A short emit without error (file shrank between stat and
+			// send — e.g. truncated through a shared 9p export) breaks
+			// the Content-Length promise just like a write failure.
+			if err != nil || n != size {
+				s.Errors++
+				ok = false
+			}
+		}
+		tc.Uncork()
+		return ok
+	}
+
+	// Copying path: read the content into an allocator-backed response
+	// buffer behind the header, as nginx builds output chains without
+	// sendfile.
+	total := len(header)
+	if method == "GET" {
+		total += int(size)
+	}
+	p, err := s.alloc.Malloc(total)
+	if err != nil {
+		s.Errors++
+		return s.writeStatus(tc, "500 Internal Server Error")
+	}
+	buf := ukalloc.Bytes(s.alloc, p, total)
+	n := copy(buf, header)
+	if method == "GET" {
+		// Nothing has gone out yet, so a failed or short content read
+		// can still be an honest 500 — never a 200 wrapping whatever
+		// stale bytes the recycled pool buffer held.
+		rn, err := h.ReadAt(buf[n:], 0)
+		if err != nil || int64(rn) != size {
+			s.Errors++
+			s.retire(p)
+			return s.writeStatus(tc, "500 Internal Server Error")
+		}
+	}
+	ok := s.writeFull(tc, buf)
+	s.retire(p)
+	if !ok {
+		s.Errors++
+	}
+	return ok
+}
+
+// isNotExist reports whether a backend open failed because the path is
+// absent (backend-agnostic: vfscore or shfs).
+func isNotExist(err error) bool {
+	return err == vfscore.ErrNotExist || err == shfs.ErrNotExist
+}
+
+// writeFull pushes all of p through the socket, tolerating short
+// writes while the peer drains (TCP flow control); it gives up — and
+// reports failure — only when the send buffer itself is exhausted or
+// the connection dies. The event loop cannot block, so buffer
+// exhaustion (a response larger than the 256 KiB send buffer can
+// absorb) is a hard failure, not a wait.
+func (s *Server) writeFull(tc *netstack.TCPConn, p []byte) bool {
+	for len(p) > 0 {
+		n, err := tc.Write(p)
+		if err != nil {
+			return false
+		}
+		if n == 0 {
+			return false
+		}
+		p = p[n:]
+	}
+	return true
+}
+
+// writePooled sends data from an allocator-backed buffer retired
+// through the FIFO pool (the sendfile path's header write), reporting
+// whether it all went out.
+func (s *Server) writePooled(tc *netstack.TCPConn, data []byte) bool {
+	p, err := s.alloc.Malloc(len(data))
+	if err != nil {
+		s.Errors++
+		return false
+	}
+	buf := ukalloc.Bytes(s.alloc, p, len(data))
+	copy(buf, data)
+	ok := s.writeFull(tc, buf)
+	s.retire(p)
+	if !ok {
+		s.Errors++ // same accounting as the copying path's write failure
+	}
+	return ok
+}
+
+// retire queues a response buffer on the FIFO pool, freeing the oldest
+// past the ring bound — nginx's pool recycling.
+func (s *Server) retire(p ukalloc.Ptr) {
 	s.pool = append(s.pool, p)
 	if len(s.pool) > poolRing {
 		s.alloc.Free(s.pool[0])
 		s.pool = s.pool[1:]
 	}
-	return keepAlive
+}
+
+// writeStatus sends a bodyless status response with checked delivery:
+// a dropped or truncated error response breaks keep-alive framing just
+// like a truncated 200, so failure means "close the connection" (false)
+// rather than a silent desync. File-mode error paths use it; the
+// fixed-page mode keeps the calibrated unchecked writeSimple.
+func (s *Server) writeStatus(tc *netstack.TCPConn, status string) bool {
+	resp := fmt.Sprintf("HTTP/1.1 %s\r\nContent-Length: 0\r\n\r\n", status)
+	return s.writeFull(tc, []byte(resp))
 }
 
 func (s *Server) writeSimple(tc *netstack.TCPConn, status string, body []byte) {
@@ -190,13 +384,18 @@ func (s *Server) writeSimple(tc *netstack.TCPConn, status string, body []byte) {
 func (s *Server) OpenConns() int { return len(s.conns) }
 
 // LoadGen is a wrk-like load generator: N keep-alive connections each
-// issuing sequential GET requests.
+// issuing sequential GET requests. With SetPaths it cycles a request
+// mix across the site (each connection walks the list round-robin from
+// its own offset) instead of hammering one URL.
 type LoadGen struct {
 	stack *netstack.Stack
 	conns []*genConn
-	// Completed counts full responses received; BytesRead the payload.
+	paths [][]byte // pre-rendered requests, nil = the fixed index.html
+	// Completed counts full responses received; BytesRead the payload;
+	// NotFound the 404 responses among them.
 	Completed uint64
 	BytesRead uint64
+	NotFound  uint64
 }
 
 type genConn struct {
@@ -204,6 +403,7 @@ type genConn struct {
 	pending int // responses outstanding
 	buf     []byte
 	expect  int // bytes remaining of current response body
+	next    int // round-robin index into paths
 }
 
 // NewLoadGen opens n connections to addr.
@@ -212,10 +412,21 @@ func NewLoadGen(stack *netstack.Stack, addr netstack.AddrPort, n int) *LoadGen {
 	for i := 0; i < n; i++ {
 		tc, err := stack.ConnectTCP(addr)
 		if err == nil {
-			g.conns = append(g.conns, &genConn{tc: tc})
+			g.conns = append(g.conns, &genConn{tc: tc, next: i})
 		}
 	}
 	return g
+}
+
+// SetPaths makes the generator request the given path mix (weighted by
+// repetition) instead of the fixed /index.html. Connections start at
+// staggered offsets so the mix interleaves across the fleet
+// deterministically.
+func (g *LoadGen) SetPaths(paths []string) {
+	g.paths = g.paths[:0]
+	for _, p := range paths {
+		g.paths = append(g.paths, []byte("GET "+p+" HTTP/1.1\r\nHost: server\r\n\r\n"))
+	}
 }
 
 // Ready reports whether all connections are established.
@@ -235,8 +446,15 @@ var getRequest = []byte("GET /index.html HTTP/1.1\r\nHost: server\r\n\r\n")
 func (g *LoadGen) Fire(depth int) {
 	for _, c := range g.conns {
 		for c.pending < depth {
-			if _, err := c.tc.Write(getRequest); err != nil {
+			req := getRequest
+			if len(g.paths) > 0 {
+				req = g.paths[c.next%len(g.paths)]
+			}
+			if _, err := c.tc.Write(req); err != nil {
 				break
+			}
+			if len(g.paths) > 0 {
+				c.next++
 			}
 			c.pending++
 		}
@@ -280,8 +498,18 @@ func (g *LoadGen) Collect() int {
 				break
 			}
 			head := c.buf[:idx]
+			if bytes.HasPrefix(head, []byte("HTTP/1.1 404")) {
+				g.NotFound++
+			}
 			c.buf = c.buf[idx+4:]
 			c.expect = contentLength(head)
+			if c.expect == 0 {
+				// Bodyless response (404, HEAD): complete immediately —
+				// the body loop above only fires for expect > 0.
+				c.pending--
+				g.Completed++
+				done++
+			}
 		}
 	}
 	return done

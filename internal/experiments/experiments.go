@@ -5,7 +5,8 @@
 //
 // Measured rows come from running the simulated systems; transcribed
 // rows (comparator OSes we cannot rebuild) are marked "paper" in their
-// source column — see DESIGN.md's substitution table.
+// source column — EXPERIMENTS.md records paper-vs-measured per figure
+// and how to read a disagreement.
 package experiments
 
 import (

@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "txt1",
-		"serve", "zerocopy", "snapboot",
+		"serve", "zerocopy", "snapboot", "fileserve",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -189,6 +189,95 @@ func TestSnapbootShape(t *testing.T) {
 	}
 	if fork >= boot {
 		t.Errorf("bursty p99 with forks %vms not below full boots %vms", fork, boot)
+	}
+}
+
+// TestFileserveShape runs the static-file serving experiment and
+// validates the acceptance bar: the zero-copy sendfile path at least
+// 1.3x over the copying file path, SHFS outperforming the
+// vfscore+ramfs path end to end with the open-cost ratio inside
+// Fig 22's band, and the 1M-request pool traces hitting warm and
+// page-cache ratios above 90%.
+func TestFileserveShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput run")
+	}
+	res, err := Run(DefaultEnv(), "fileserve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := map[string]int{}
+	for i, h := range res.Headers {
+		col[h] = i
+	}
+	rate := map[string]float64{}
+	for _, row := range res.Rows {
+		key := row[col["backend"]] + "/" + row[col["datapath"]] + "/" + row[col["trace"]]
+		rate[key] = parseK(t, strings.TrimSuffix(row[col["req/s"]], "/s"))
+	}
+	copyRate := rate["vfscore/copy/wrk-mix"]
+	sendfileRate := rate["vfscore/sendfile-zc/wrk-mix"]
+	shfsRate := rate["shfs/sendfile-zc/wrk-mix"]
+	if copyRate == 0 || sendfileRate == 0 || shfsRate == 0 {
+		t.Fatalf("world rows missing: %v", rate)
+	}
+	if f := sendfileRate / copyRate; f < 1.3 {
+		t.Errorf("zero-copy sendfile speedup = %.2fx, want >= 1.3x", f)
+	}
+	if shfsRate <= sendfileRate {
+		t.Errorf("shfs (%.1fK) not above vfscore sendfile (%.1fK) end to end", shfsRate, sendfileRate)
+	}
+
+	var vfsOpen, shfsOpen float64
+	for _, row := range res.Rows {
+		if row[col["trace"]] != "wrk-mix" || row[col["open-cycles"]] == "-" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[col["open-cycles"]], 64)
+		if err != nil {
+			t.Fatalf("open-cycles %q: %v", row[col["open-cycles"]], err)
+		}
+		switch row[col["backend"]] {
+		case "vfscore":
+			vfsOpen = v
+		case "shfs":
+			shfsOpen = v
+		}
+	}
+	if vfsOpen == 0 || shfsOpen == 0 {
+		t.Fatal("open-cost cells missing")
+	}
+	if ratio := vfsOpen / shfsOpen; ratio < 4 || ratio > 7 {
+		t.Errorf("end-to-end SHFS/vfscore open ratio = %.1fx, want in Fig 22's ~5x band [4, 7]", ratio)
+	}
+
+	pct := func(row []string, name string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[col[name]], "%"), 64)
+		if err != nil {
+			t.Fatalf("%s %q: %v", name, row[col[name]], err)
+		}
+		return v
+	}
+	poolRows := 0
+	for _, row := range res.Rows {
+		if row[col["trace"]] == "wrk-mix" {
+			continue
+		}
+		poolRows++
+		if n, _ := strconv.Atoi(row[col["requests"]]); n < 1_000_000 {
+			t.Errorf("pool trace %s served %d requests, want >= 1M", row[col["trace"]], n)
+		}
+		if hit := pct(row, "warm-hit"); hit <= 90 {
+			t.Errorf("pool trace %s warm-hit %.2f%%, want > 90%%", row[col["trace"]], hit)
+		}
+		if row[col["cache-hit"]] != "-" {
+			if hit := pct(row, "cache-hit"); hit <= 90 {
+				t.Errorf("pool trace %s cache-hit %.2f%%, want > 90%%", row[col["trace"]], hit)
+			}
+		}
+	}
+	if poolRows < 3 {
+		t.Errorf("want >= 3 pool trace rows, got %d", poolRows)
 	}
 }
 

@@ -90,6 +90,7 @@ type TCPConn struct {
 	rto        uint64
 	dupAcks    int
 	timeWaitAt uint64
+	corked     bool
 
 	err error
 
@@ -483,6 +484,12 @@ func (c *TCPConn) trySend() {
 		return
 	}
 	for len(c.sndBuf) > 0 {
+		if c.corked && len(c.sndBuf) < c.mss {
+			// TCP_CORK: hold the partial segment until Uncork — this is
+			// how a sendfile loop's page-sized writes coalesce into
+			// full-MSS segments instead of one fragment per page.
+			return
+		}
 		inflight := c.sndNxt - c.sndUna
 		avail := int(c.sndWnd) - int(inflight)
 		if avail <= 0 {
@@ -611,6 +618,19 @@ func (c *TCPConn) Err() error { return c.err }
 
 // Tuple returns the connection's 4-tuple.
 func (c *TCPConn) Tuple() FourTuple { return c.tuple }
+
+// Cork delays partial-segment transmission (TCP_CORK): while corked,
+// queued data goes out only in full-MSS segments. Response writers
+// wrap scattered writes — a header plus sendfile'd file pages — in
+// Cork/Uncork so the wire sees the same segmentation as one big write.
+func (c *TCPConn) Cork() { c.corked = true }
+
+// Uncork resumes normal transmission and flushes any held partial
+// segment.
+func (c *TCPConn) Uncork() {
+	c.corked = false
+	c.trySend()
+}
 
 // Write queues data for transmission, returning the bytes accepted
 // (short writes happen at send-buffer capacity).

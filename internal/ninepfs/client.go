@@ -125,6 +125,14 @@ type cnode struct {
 	qid  Qid
 	open bool
 	size int64 // cached from last stat/write
+	// children is the dentry cache: one stable cnode per name, like the
+	// kernel dcache. Lookups still walk the server every time (shared
+	// exports stay coherent for remove/replace) but revalidate into the
+	// cached node on a qid match — stable Node identity is what lets
+	// the VFS page cache hit, and invalidate, across separate opens of
+	// one path, and bounds fid growth (revalidated walks clunk their
+	// extra fid).
+	children map[string]*cnode
 }
 
 // IsDir implements vfscore.Node.
@@ -142,7 +150,15 @@ func (n *cnode) Size() int64 {
 	return n.size
 }
 
-// Lookup implements vfscore.Node via Twalk.
+// Lookup implements vfscore.Node via Twalk. Every lookup walks the
+// server (so removals and replacements by other clients of the shared
+// export are observed, as before the dentry cache existed), but a walk
+// that lands on the same object — same qid path — revalidates the
+// cached cnode and returns it, clunking the redundant fid. Stable node
+// identity is what lets the VFS page cache hit, and invalidate, across
+// separate opens of one path; same-object content writes by *other*
+// clients remain cached until eviction, the cache=loose semantics real
+// 9p clients ship.
 func (n *cnode) Lookup(name string) (vfscore.Node, error) {
 	newfid := n.fs.allocFid()
 	resp := n.fs.t.RPC(NewEnc(Twalk, n.fs.tag()).
@@ -154,6 +170,7 @@ func (n *cnode) Lookup(name string) (vfscore.Node, error) {
 	if typ == Rerror {
 		msg := d.Str()
 		if strings.Contains(msg, "no such") {
+			n.evictChild(name) // removed behind our back
 			return nil, vfscore.ErrNotExist
 		}
 		return nil, errors.New(msg)
@@ -162,9 +179,35 @@ func (n *cnode) Lookup(name string) (vfscore.Node, error) {
 		return nil, ErrProtocol
 	}
 	if d.U16() != 1 {
+		n.evictChild(name)
 		return nil, vfscore.ErrNotExist
 	}
-	return &cnode{fs: n.fs, fid: newfid, qid: d.Qid()}, nil
+	qid := d.Qid()
+	if child, ok := n.children[name]; ok && child.qid.Path == qid.Path {
+		// Same object: the cached node is current — release the walk's
+		// extra fid and keep the stable identity.
+		(&cnode{fs: n.fs, fid: newfid}).Clunk()
+		return child, nil
+	}
+	n.evictChild(name) // replaced: different object behind the name now
+	child := &cnode{fs: n.fs, fid: newfid, qid: qid}
+	if n.children == nil {
+		n.children = map[string]*cnode{}
+	}
+	n.children[name] = child
+	return child, nil
+}
+
+// evictChild drops a dentry-cache entry whose name no longer resolves
+// to the cached object, clunking its fid so server-side fid state stays
+// bounded under remove/recreate churn. A descriptor still holding the
+// evicted node errors on further I/O — the stale-handle semantics of a
+// remotely replaced file on a shared export.
+func (n *cnode) evictChild(name string) {
+	if child, ok := n.children[name]; ok {
+		child.Clunk()
+		delete(n.children, name)
+	}
 }
 
 // ensureOpen opens the fid for I/O once.
@@ -212,7 +255,12 @@ func (n *cnode) Create(name string, dir bool) (vfscore.Node, error) {
 	if typ != Rcreate {
 		return nil, ErrProtocol
 	}
-	return &cnode{fs: n.fs, fid: cfid, qid: d.Qid(), open: true}, nil
+	child := &cnode{fs: n.fs, fid: cfid, qid: d.Qid(), open: true}
+	if n.children == nil {
+		n.children = map[string]*cnode{}
+	}
+	n.children[name] = child
+	return child, nil
 }
 
 // Remove implements vfscore.Node: the extended Tremove carries the
@@ -236,6 +284,10 @@ func (n *cnode) Remove(name string) error {
 	if typ != Rremove {
 		return ErrProtocol
 	}
+	// Clunk the cached child's fid too: the server removes the object
+	// via the parent fid, so the child's own fid would otherwise stay
+	// registered forever.
+	n.evictChild(name)
 	return nil
 }
 

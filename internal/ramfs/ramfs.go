@@ -2,7 +2,14 @@
 // they do not need persistent storage (§5.2: "Typically, Unikraft guests
 // include a RAM filesystem"). It implements the vfscore FS/Node
 // interfaces with a plain directory tree; it also serves as the backing
-// export for the in-process 9pfs host server.
+// export for the in-process 9pfs host server and as the template tree
+// snapshot-forked clones share through vfscore's CowFS.
+//
+// The only cost ramfs itself contributes is its per-component lookup
+// (a map probe, charged by the vfscore path walk via LookupCost); node
+// reads and writes are priced by the VFS's per-byte copy charges, and
+// ReadSlice exposes zero-copy views so the page cache can share file
+// bytes without any copy at all.
 package ramfs
 
 import (
@@ -120,6 +127,23 @@ func (n *node) ReadDir() ([]vfscore.DirEnt, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
+}
+
+// ReadSlice implements vfscore.SliceReader: a zero-copy view of the
+// file's bytes, valid until the next write (the VFS page cache
+// invalidates on write, so a cached view can never dangle). This is
+// what lets the sendfile path — and every snapshot-forked clone reading
+// through a CowFS over this tree — serve content without duplicating
+// it.
+func (n *node) ReadSlice(off int64, ln int) ([]byte, bool) {
+	if n.dir || off < 0 || off >= int64(len(n.data)) {
+		return nil, false
+	}
+	end := off + int64(ln)
+	if end > int64(len(n.data)) {
+		end = int64(len(n.data))
+	}
+	return n.data[off:end], true
 }
 
 // ReadAt implements vfscore.Node.

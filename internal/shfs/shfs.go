@@ -23,6 +23,7 @@ var (
 	ErrExist     = errors.New("shfs: object exists")
 	ErrFull      = errors.New("shfs: volume full")
 	ErrBadHandle = errors.New("shfs: bad handle")
+	ErrSealed    = errors.New("shfs: volume sealed")
 )
 
 // Open-path costs (cycles), calibrated to Fig 22's SHFS bars: 308 cycles
@@ -52,6 +53,10 @@ type FS struct {
 	buckets []entry
 	mask    uint64
 	count   int
+	// sealed freezes the bucket table (see Seal/View): Add fails, and
+	// read-only views sharing the table become safe to hand to
+	// concurrently running clones.
+	sealed bool
 }
 
 // New creates a volume with the given bucket count (rounded up to a
@@ -84,11 +89,19 @@ func hashName(name string) uint64 {
 }
 
 // Add inserts an object at volume-population time (the MiniCache volume
-// is built offline; Add is the builder).
+// is built offline; Add is the builder). Sealed volumes refuse. The
+// content is copied into the volume: sealed blobs — and every clone
+// View's zero-copy ReadSlice of them — stay immutable even if the
+// caller later reuses its buffer, matching how ramfs population copies
+// through WriteAt.
 func (fs *FS) Add(name string, data []byte) error {
+	if fs.sealed {
+		return ErrSealed
+	}
 	if fs.count >= len(fs.buckets)*3/4 {
 		return ErrFull
 	}
+	data = append([]byte(nil), data...)
 	h := hashName(name)
 	i := h & fs.mask
 	for fs.buckets[i].used {
@@ -123,6 +136,47 @@ func (fs *FS) Open(name string) (Handle, error) {
 	}
 	fs.charge(probes * costProbe)
 	return -1, ErrNotExist
+}
+
+// Seal freezes the volume: no further Add calls succeed. A sealed
+// volume's bucket table is immutable, which is what makes View safe.
+func (fs *FS) Seal() { fs.sealed = true }
+
+// Sealed reports whether the volume is frozen.
+func (fs *FS) Sealed() bool { return fs.sealed }
+
+// View returns a read-only handle on a sealed volume that charges its
+// operations to m instead of the volume's own machine. Snapshot-forked
+// clones each take a View: the bucket table and content blobs are
+// shared (one copy of the site for the whole fleet, exactly like the
+// COW-shared template pages), while every clone's opens and reads bill
+// its own simulated CPU. Views of an unsealed volume are refused — a
+// concurrent Add would race every clone.
+func (fs *FS) View(m *sim.Machine) (*FS, error) {
+	if !fs.sealed {
+		return nil, ErrSealed
+	}
+	return &FS{machine: m, buckets: fs.buckets, mask: fs.mask, count: fs.count, sealed: true}, nil
+}
+
+// ReadSlice returns a zero-copy view of object content — the
+// specialized sendfile path: no per-byte charge, just the handoff. The
+// slice stays valid forever on a sealed volume (content blobs are
+// immutable).
+func (fs *FS) ReadSlice(h Handle, off int64, n int) ([]byte, error) {
+	e, err := fs.entryOf(h)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || off >= int64(len(e.data)) {
+		return nil, nil
+	}
+	end := off + int64(n)
+	if end > int64(len(e.data)) {
+		end = int64(len(e.data))
+	}
+	fs.charge(40)
+	return e.data[off:end], nil
 }
 
 // ReadAt copies object content.

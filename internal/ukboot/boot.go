@@ -10,10 +10,13 @@ import (
 	"fmt"
 	"time"
 
+	"unikraft/internal/ramfs"
+	"unikraft/internal/shfs"
 	"unikraft/internal/sim"
 	"unikraft/internal/ukalloc"
 	"unikraft/internal/ukplat"
 	"unikraft/internal/uksched"
+	"unikraft/internal/vfscore"
 )
 
 // libInitCycles is the guest-side constructor cost of each micro-library
@@ -86,6 +89,17 @@ type Config struct {
 	// Scheduler, if non-nil creation is requested, selects the policy;
 	// include "uksched" in Libs to create one.
 	Scheduler uksched.Policy
+	// RootFS mounts a populated root filesystem at boot: "ramfs" (the
+	// general vfscore path), "shfs" (the specialized MiniCache volume,
+	// bypassing vfscore) or "9pfs" (a shared host export over virtio-9p).
+	// Empty means no filesystem state — the calibrated baseline every
+	// figure boots with.
+	RootFS string
+	// Files populates the root filesystem (absolute path -> content).
+	Files map[string][]byte
+	// PageCachePages bounds the instance's VFS page cache (0 disables;
+	// only meaningful for vfscore-backed root filesystems).
+	PageCachePages int
 	// ParallelInit charges independent constructors in topologically
 	// sorted stages — libs with no ordering constraint between them
 	// charge max instead of sum, modelling a multi-queue init table.
@@ -134,6 +148,16 @@ type VM struct {
 	Sched     *uksched.Scheduler
 	Regions   []ukplat.MemRegion
 	Report    Report
+	// VFS is the instance's live virtual filesystem (Config.RootFS
+	// "ramfs"/"9pfs"; nil otherwise), with RootFS the filesystem mounted
+	// at /. SHFS is the specialized flat volume when Config.RootFS is
+	// "shfs" — it bypasses vfscore entirely, as in the paper's §6.3.
+	VFS    *vfscore.VFS
+	RootFS vfscore.FS
+	SHFS   *shfs.FS
+	// NinePHost is the host-side export behind a 9pfs root (shared
+	// across forked clones, like a real virtio-9p host directory).
+	NinePHost *ramfs.FS
 	// InitLibs is the ordered list of boot steps this instance ran (or,
 	// for a fork, inherited from its template) — the guest-visible
 	// initialized lib set.
@@ -152,6 +176,7 @@ const (
 	stepPageTable                 // build the guest page table
 	stepAlloc                     // initialize the heap allocator
 	stepSched                     // charge + create the scheduler
+	stepRootFS                    // mount + populate the root filesystem
 )
 
 type ctxStep struct {
@@ -195,6 +220,12 @@ func NewContext(cfg Config) (*Context, error) {
 	if cfg.Allocator == "" {
 		cfg.Allocator = "tlsf"
 	}
+	if !ValidRootFS(cfg.RootFS) {
+		return nil, fmt.Errorf("ukboot: unknown root filesystem %q (have %v)", cfg.RootFS, RootFSNames())
+	}
+	if len(cfg.Files) > 0 && cfg.RootFS == RootNone {
+		return nil, fmt.Errorf("ukboot: Files set but no RootFS selected (have %v)", RootFSNames())
+	}
 	c := &Context{cfg: cfg}
 
 	// VMM phase: monitor start plus per-NIC plumbing. Kept as separate
@@ -226,7 +257,7 @@ func NewContext(cfg Config) (*Context, error) {
 	}
 	c.steps = append(c.steps, ctxStep{name: "alloc:" + cfg.Allocator, kind: stepAlloc})
 
-	if cfg.NICs > 0 || cfg.Mount9pfs {
+	if cfg.NICs > 0 || cfg.Mount9pfs || cfg.RootFS == Root9pfs {
 		charge("ukbus")
 	}
 	for i := 0; i < cfg.NICs; i++ {
@@ -241,6 +272,9 @@ func NewContext(cfg Config) (*Context, error) {
 			continue
 		}
 		charge(lib)
+	}
+	if cfg.RootFS != RootNone {
+		c.steps = append(c.steps, ctxStep{name: "rootfs:" + cfg.RootFS, kind: stepRootFS})
 	}
 	charge("misc")
 	for _, st := range c.steps {
@@ -284,11 +318,20 @@ func (c *Context) computeStages() {
 	for i := 0; i <= allocIdx; i++ {
 		c.stages = append(c.stages, []int{i})
 	}
-	var body, miscIdx []int
+	var body, miscIdx, statefulIdx []int
 	levels := map[string]int{}
 	for i := allocIdx + 1; i < len(c.steps); i++ {
 		if c.steps[i].name == "misc" {
 			miscIdx = append(miscIdx, i)
+			continue
+		}
+		if c.steps[i].kind == stepRootFS {
+			// Stateful post-allocator steps (the rootfs mount) run in
+			// their own sequential stage after the constructor levels:
+			// the mount needs vfscore (and, for 9pfs, the bus scan)
+			// initialized, and bootStaged only parallelizes pure
+			// charges.
+			statefulIdx = append(statefulIdx, i)
 			continue
 		}
 		body = append(body, i)
@@ -326,6 +369,9 @@ func (c *Context) computeStages() {
 		if len(byLevel[lvl]) > 0 {
 			c.stages = append(c.stages, byLevel[lvl])
 		}
+	}
+	for _, i := range statefulIdx {
+		c.stages = append(c.stages, []int{i})
 	}
 	if len(miscIdx) > 0 {
 		c.stages = append(c.stages, miscIdx)
@@ -406,6 +452,10 @@ func (c *Context) runStep(vm *VM, m *sim.Machine, st ctxStep) error {
 		}
 		vm.Allocs.Register(a)
 		vm.Heap = a
+	case stepRootFS:
+		if err := c.mountRootFS(vm, m); err != nil {
+			return fmt.Errorf("ukboot: step %s: %w", st.name, err)
+		}
 	}
 	return nil
 }
@@ -508,6 +558,12 @@ func (vm *VM) Reset() error {
 	vm.Allocs = ukalloc.Registry{}
 	vm.Allocs.Register(a)
 	vm.Heap = a
+	// Drop the guest's open descriptors: a recycled instance starts with
+	// a pristine fd table (the mount table and page cache survive, like
+	// a kernel's across process churn).
+	if vm.VFS != nil {
+		vm.VFS.Reset()
+	}
 	return nil
 }
 

@@ -219,6 +219,18 @@ func (c *Context) Fork(m *sim.Machine, snap *Snapshot) (*VM, error) {
 		}
 	}
 
+	if c.cfg.RootFS != RootNone {
+		// The clone's filesystem view: COW over the template's ramfs
+		// tree (reads share the template bytes, writes privatize), a
+		// read-only View of the sealed SHFS volume, or a fresh 9p mount
+		// over the shared host export — see forkRootFS.
+		if err := step("rootfs-cow", func() error {
+			return c.forkRootFS(vm, m, snap.template)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
 	vm.Report.Guest = m.CPU.Duration(m.CPU.Cycles() - guestStart)
 	return vm, nil
 }

@@ -67,6 +67,14 @@ type Config struct {
 	// (VM-exit-class cost) over a batch of n requests, the Spec's
 	// WithTxBatch (default 1: one pair of kicks per request).
 	KickBatch int
+	// RequestWork, when set, runs inside every request's service window
+	// with the serving instance's VM and the pool-wide request ordinal
+	// (1-based, deterministic under Serve and per shard under
+	// ServeParallel). Whatever it charges to the instance's machine —
+	// e.g. driving the VM's VFS through an open/sendfile/close per
+	// request, the fileserve experiment's workload — lands in that
+	// request's service time.
+	RequestWork func(vm *ukboot.VM, seq int)
 	// ForkBoot, when set, replaces every instance instantiation (warm
 	// floor, demand cold boots, autoscaler scale-ups) with a
 	// snapshot-fork clone — the Spec's WithSnapshotBoot plumbed into the
@@ -127,6 +135,12 @@ func WithZeroCopy() Option { return func(c *Config) { c.ZeroCopy = true } }
 // WithKickBatch amortizes per-request virtqueue kicks over batches of n
 // requests (n <= 1 means one kick pair per request).
 func WithKickBatch(n int) Option { return func(c *Config) { c.KickBatch = n } }
+
+// WithRequestWork attaches per-request instance work (see
+// Config.RequestWork).
+func WithRequestWork(fn func(vm *ukboot.VM, seq int)) Option {
+	return func(c *Config) { c.RequestWork = fn }
+}
 
 // WithForkBoot makes the fleet instantiate instances by snapshot-fork
 // instead of the full boot pipeline. The fork func must satisfy the
@@ -220,6 +234,10 @@ type Pool struct {
 	fleet  []*instance      // every live instance
 	idle   deque[*instance] // subset currently idle (LIFO back = cache-warm)
 	closed bool
+	// reqSeq numbers dispatched requests for Config.RequestWork
+	// (monotone under the pool lock; per child pool under
+	// ServeParallel, so hooks stay deterministic there too).
+	reqSeq int
 }
 
 // New builds a pool over boot. No instances are booted until Serve (or
@@ -785,6 +803,10 @@ func (p *Pool) serviceTime(inst *instance, bytes int) time.Duration {
 		if ptr, err := inst.vm.Heap.Malloc(bytes); err == nil {
 			_ = inst.vm.Heap.Free(ptr)
 		}
+	}
+	if p.cfg.RequestWork != nil {
+		p.reqSeq++
+		p.cfg.RequestWork(inst.vm, p.reqSeq)
 	}
 	return m.CPU.Duration(m.CPU.Cycles() - start)
 }

@@ -1,0 +1,326 @@
+package vfscore
+
+// This file implements the VFS page cache and the Sendfile fast path —
+// the storage half of the zero-copy datapath. Where a plain Read pays a
+// per-byte copy out of the filesystem on every call, Sendfile serves
+// file content page by page out of the cache and hands each page to the
+// caller's emit function by reference; with a zero-copy socket layer
+// underneath (netstack.Config.ZeroCopy, PR 3's pooled-netbuf TX path)
+// the bytes cross from filesystem to wire without a single charged
+// copy. Filesystems that can expose stable views of their content
+// (ramfs, SHFS-backed nodes, CowFS over either) implement SliceReader
+// and the cache stores those views directly — cached "pages" of a
+// snapshot-forked fleet are then literal slices of the shared template
+// data, which is what lets clones share a read-only page cache
+// COW-safely: writes privatize the node (CowFS) and invalidate, they
+// never mutate the shared bytes.
+
+// PageSize is the cache's page granularity (4 KiB, matching the guest
+// page size in ukboot).
+const PageSize = 4096
+
+// Page-cache and sendfile costs (cycles). The hit path is deliberately
+// an order of magnitude below the Read path's per-byte copy: a 4 KiB
+// page served from cache charges costPageHit+costSendfilePage = 150
+// cycles against the ~476 (costRWBase + 4096/costPerByteDen) a copying
+// read of the same page pays before it even reaches the socket.
+const (
+	costSendfileBase = 180 // per-call setup: fd lookup, range clamp
+	costPageHit      = 60  // cache probe on a resident page
+	costPageInsert   = 110 // insert + eviction bookkeeping on a miss
+	costPageShare    = 30  // zero-copy fill: reference a SliceReader view
+	costSendfilePage = 90  // per-page handoff into the socket layer
+)
+
+// SliceReader is an optional Node capability: return a read-only view
+// of the file's bytes without copying. The returned slice must stay
+// valid until the node's content is mutated (at which point the VFS
+// invalidates any cached views). ramfs nodes, SHFS-backed nodes and
+// CowFS nodes over either implement it; filesystems that materialize
+// content per read (9pfs) do not, and the cache falls back to a
+// copying fill for them.
+type SliceReader interface {
+	ReadSlice(off int64, n int) ([]byte, bool)
+}
+
+// PageCacheStats counts cache traffic.
+type PageCacheStats struct {
+	Hits, Misses  uint64
+	Evictions     uint64
+	Invalidations uint64
+	// SharedFills counts misses filled by zero-copy SliceReader views
+	// (no per-byte charge); the remainder were copying fills.
+	SharedFills uint64
+}
+
+// HitRatio is Hits / (Hits + Misses).
+func (s PageCacheStats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// pageKey identifies one cached page.
+type pageKey struct {
+	node Node
+	idx  int64
+}
+
+// cachedPage pairs the page bytes with the insertion sequence number
+// that ties it to exactly one FIFO entry — a stale entry left behind
+// by an invalidation can then never evict a page re-inserted later
+// under the same key.
+type cachedPage struct {
+	data []byte
+	seq  uint64
+}
+
+// fifoEntry is one eviction-queue slot.
+type fifoEntry struct {
+	key pageKey
+	seq uint64
+}
+
+// PageCache caches file pages per VFS, bounded by a page budget with
+// FIFO eviction. It is single-goroutine, like the VFS that owns it;
+// forked clones each own their cache, while the cached slices may be
+// shared views of template data (see SliceReader).
+type PageCache struct {
+	maxPages int
+	pages    map[Node]map[int64]cachedPage
+	fifo     []fifoEntry
+	nextSeq  uint64
+	total    int
+	stats    PageCacheStats
+}
+
+// NewPageCache builds a cache bounded to maxPages pages (minimum 1).
+func NewPageCache(maxPages int) *PageCache {
+	if maxPages < 1 {
+		maxPages = 1
+	}
+	return &PageCache{maxPages: maxPages, pages: map[Node]map[int64]cachedPage{}}
+}
+
+// Stats returns a copy of the traffic counters.
+func (pc *PageCache) Stats() PageCacheStats { return pc.stats }
+
+// Resident reports cached pages (tests).
+func (pc *PageCache) Resident() int { return pc.total }
+
+// get returns the cached page, or nil on a miss.
+func (pc *PageCache) get(node Node, idx int64) []byte {
+	if byIdx, ok := pc.pages[node]; ok {
+		if p, ok := byIdx[idx]; ok {
+			pc.stats.Hits++
+			return p.data
+		}
+	}
+	pc.stats.Misses++
+	return nil
+}
+
+// put inserts a page, evicting FIFO past the budget.
+func (pc *PageCache) put(node Node, idx int64, p []byte) {
+	byIdx, ok := pc.pages[node]
+	if !ok {
+		byIdx = map[int64]cachedPage{}
+		pc.pages[node] = byIdx
+	}
+	if _, dup := byIdx[idx]; !dup {
+		pc.total++
+	}
+	pc.nextSeq++
+	byIdx[idx] = cachedPage{data: p, seq: pc.nextSeq}
+	pc.fifo = append(pc.fifo, fifoEntry{key: pageKey{node, idx}, seq: pc.nextSeq})
+	// Invalidations leave stale FIFO entries behind; a write-heavy
+	// workload that never crosses the page budget would otherwise grow
+	// the queue one entry per refill forever. Compacting at a fixed
+	// multiple keeps the queue O(maxPages) at amortized O(1) cost.
+	if len(pc.fifo) > 4*pc.maxPages {
+		pc.compactFIFO()
+	}
+	for pc.total > pc.maxPages && len(pc.fifo) > 0 {
+		e := pc.fifo[0]
+		pc.fifo = pc.fifo[1:]
+		byIdx, ok := pc.pages[e.key.node]
+		if !ok {
+			continue // node already invalidated; stale FIFO entry
+		}
+		cp, ok := byIdx[e.key.idx]
+		if !ok || cp.seq != e.seq {
+			continue // evicted, or re-inserted later under a newer entry
+		}
+		delete(byIdx, e.key.idx)
+		if len(byIdx) == 0 {
+			delete(pc.pages, e.key.node)
+		}
+		pc.total--
+		pc.stats.Evictions++
+	}
+}
+
+// compactFIFO drops queue entries that no longer match a resident
+// page's sequence number (at most one entry per page can match, so
+// order — and therefore eviction order — is preserved exactly).
+func (pc *PageCache) compactFIFO() {
+	kept := pc.fifo[:0]
+	for _, e := range pc.fifo {
+		if byIdx, ok := pc.pages[e.key.node]; ok {
+			if cp, ok := byIdx[e.key.idx]; ok && cp.seq == e.seq {
+				kept = append(kept, e)
+			}
+		}
+	}
+	for i := len(kept); i < len(pc.fifo); i++ {
+		pc.fifo[i] = fifoEntry{}
+	}
+	pc.fifo = kept
+}
+
+// invalidate drops every cached page of node — called by the VFS on any
+// write or truncate, so a cached view can never serve stale (or, for
+// shared slices, dangling) content.
+func (pc *PageCache) invalidate(node Node) {
+	byIdx, ok := pc.pages[node]
+	if !ok {
+		return
+	}
+	pc.total -= len(byIdx)
+	pc.stats.Invalidations += uint64(len(byIdx))
+	delete(pc.pages, node)
+	// Stale FIFO entries are skipped lazily at eviction time (their
+	// sequence numbers no longer match any resident page).
+}
+
+// EnablePageCache attaches a page cache of maxPages pages to the VFS.
+// Passing 0 detaches it (Sendfile falls back to per-page copying
+// reads).
+func (v *VFS) EnablePageCache(maxPages int) {
+	if maxPages <= 0 {
+		v.cache = nil
+		return
+	}
+	v.cache = NewPageCache(maxPages)
+}
+
+// CacheStats returns the page-cache counters (zero value when no cache
+// is attached).
+func (v *VFS) CacheStats() PageCacheStats {
+	if v.cache == nil {
+		return PageCacheStats{}
+	}
+	return v.cache.Stats()
+}
+
+// CacheFIFOLen reports the eviction queue length (tests: it must stay
+// O(maxPages) even under invalidation-heavy workloads).
+func (v *VFS) CacheFIFOLen() int {
+	if v.cache == nil {
+		return 0
+	}
+	return len(v.cache.fifo)
+}
+
+// invalidateCache drops node's cached pages after a content mutation.
+func (v *VFS) invalidateCache(node Node) {
+	if v.cache != nil {
+		v.cache.invalidate(node)
+	}
+}
+
+// cachedPage returns one page of node through the cache, filling on
+// miss (zero-copy via SliceReader when the node supports it, a copying
+// read otherwise). The returned slice may be shorter than PageSize at
+// EOF; it is read-only.
+func (v *VFS) cachedPage(node Node, idx int64) ([]byte, error) {
+	if p := v.cache.get(node, idx); p != nil {
+		v.machine.Charge(costPageHit)
+		return p, nil
+	}
+	off := idx * PageSize
+	if sr, ok := node.(SliceReader); ok {
+		if p, ok := sr.ReadSlice(off, PageSize); ok {
+			v.machine.Charge(costPageShare + costPageInsert)
+			v.cache.stats.SharedFills++
+			v.cache.put(node, idx, p)
+			return p, nil
+		}
+	}
+	buf := make([]byte, PageSize)
+	n, err := node.ReadAt(buf, off)
+	if err != nil {
+		return nil, err
+	}
+	v.machine.Charge(costRWBase + uint64(n)/costPerByteDen + costPageInsert)
+	p := buf[:n]
+	v.cache.put(node, idx, p)
+	return p, nil
+}
+
+// Sendfile streams n bytes of fd starting at off to emit, page by page,
+// without the caller ever copying file content: each emitted slice is a
+// view of a cached page (or, uncached, of a scratch page). n < 0 means
+// "to EOF". It returns the bytes emitted. This is the storage half of
+// the zero-copy datapath: pair it with a zero-copy socket write
+// (netstack.Config.ZeroCopy) and the per-request cost drops from two
+// per-byte copies to pointer handoffs — the file-serving analog of the
+// paper's §3.1 zero-copy I/O design.
+func (v *VFS) Sendfile(fd int, off, n int64, emit func(p []byte) error) (int64, error) {
+	f, err := v.lookupFD(fd)
+	if err != nil {
+		return 0, err
+	}
+	if f.node.IsDir() {
+		return 0, ErrIsDir
+	}
+	if off < 0 {
+		return 0, ErrInvalid
+	}
+	v.machine.Charge(costSendfileBase)
+	size := f.node.Size()
+	end := size
+	if n >= 0 && off+n < end {
+		end = off + n
+	}
+	var total int64
+	for pos := off; pos < end; {
+		idx := pos / PageSize
+		pstart := pos - idx*PageSize
+		var page []byte
+		if v.cache != nil {
+			page, err = v.cachedPage(f.node, idx)
+			if err != nil {
+				return total, err
+			}
+		} else {
+			// No cache: a per-page copying read into the VFS scratch
+			// page (the pre-page-cache sendfile, still one copy short
+			// of the Read+Write path).
+			if v.scratch == nil {
+				v.scratch = make([]byte, PageSize)
+			}
+			rn, err := f.node.ReadAt(v.scratch, idx*PageSize)
+			if err != nil {
+				return total, err
+			}
+			v.machine.Charge(costRWBase + uint64(rn)/costPerByteDen)
+			page = v.scratch[:rn]
+		}
+		if pstart >= int64(len(page)) {
+			break // sparse tail / concurrent truncate: stop at EOF
+		}
+		chunk := page[pstart:]
+		if rem := end - pos; int64(len(chunk)) > rem {
+			chunk = chunk[:rem]
+		}
+		v.machine.Charge(costSendfilePage)
+		if err := emit(chunk); err != nil {
+			return total, err
+		}
+		total += int64(len(chunk))
+		pos += int64(len(chunk))
+	}
+	return total, nil
+}

@@ -162,3 +162,13 @@ func WithPoolKickBatch(n int) PoolOption { return ukpool.WithKickBatch(n) }
 func WithPoolForkBoot(fork func(id int) (*VM, error)) PoolOption {
 	return ukpool.WithForkBoot(fork)
 }
+
+// WithRequestWork attaches per-request instance work to the pool: fn
+// runs inside every request's service window with the serving
+// instance's VM and the request ordinal, and whatever it charges to the
+// VM's machine lands in that request's service time. This is how a
+// file-serving spec drives each instance's VFS (open/sendfile/close)
+// under pool traffic.
+func WithRequestWork(fn func(vm *VM, seq int)) PoolOption {
+	return ukpool.WithRequestWork(fn)
+}

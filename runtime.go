@@ -2,6 +2,7 @@ package unikraft
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sync"
 
 	"unikraft/internal/core"
@@ -122,6 +123,7 @@ type resolved struct {
 	backend  string // ukalloc backend booting initializes
 	mem      int
 	build    ukbuild.Options
+	rootFS   string // RootFS with the WithFiles default applied
 }
 
 // resolve validates s and fills defaults. All spec errors come from
@@ -192,6 +194,24 @@ func (rt *Runtime) resolve(s Spec) (resolved, error) {
 	}
 	if s.RxIRQBatch < 0 {
 		return r, fmt.Errorf("unikraft: RX IRQ batch must not be negative, got %d (0 means interrupt per arrival)", s.RxIRQBatch)
+	}
+	r.rootFS = s.RootFS
+	if r.rootFS == "" && len(s.Files) > 0 {
+		r.rootFS = ukboot.RootRamfs
+	}
+	if !ukboot.ValidRootFS(r.rootFS) {
+		return r, fmt.Errorf("unikraft: unknown root filesystem %q (have %v)", s.RootFS, ukboot.RootFSNames())
+	}
+	if s.PageCachePages < 0 {
+		return r, fmt.Errorf("unikraft: page cache size must not be negative, got %d (0 disables)", s.PageCachePages)
+	}
+	if s.PageCachePages > 0 && r.rootFS != ukboot.RootRamfs && r.rootFS != ukboot.Root9pfs {
+		return r, fmt.Errorf("unikraft: page cache requires a vfscore-backed root filesystem (ramfs or 9pfs), spec has %q", r.rootFS)
+	}
+	for path := range s.Files {
+		if path == "" || path[0] != '/' {
+			return r, fmt.Errorf("unikraft: file paths must be absolute, got %q", path)
+		}
 	}
 	if s.MemBytes < 0 {
 		return r, fmt.Errorf("unikraft: memory must not be negative, got %d (0 means the 64 MiB default)", s.MemBytes)
@@ -274,6 +294,9 @@ func (rt *Runtime) bootConfig(r resolved, s Spec, imageBytes int) ukboot.Config 
 	cfg.Libs = append(ukboot.ProfileLibs(r.profile.NICs, r.profile.Scheduler), s.ExtraLibs...)
 	cfg.ParallelInit = s.InitStages
 	cfg.SnapshotBoot = s.SnapshotBoot
+	cfg.RootFS = r.rootFS
+	cfg.Files = s.Files
+	cfg.PageCachePages = s.PageCachePages
 	return cfg
 }
 
@@ -306,7 +329,23 @@ func (rt *Runtime) Close() {
 // a registry change that alters the resolved profile re-captures.
 // Close releases the cache.
 func (rt *Runtime) snapshotFor(cfg ukboot.Config) (*snapEntry, error) {
-	key := fmt.Sprintf("%+v", cfg)
+	// Files can hold an entire site; rendering its bytes into the key
+	// would make every fork pay O(site) formatting. Key on a digest of
+	// the (sorted) contents instead, with Files elided from the render.
+	filesKey := ""
+	renderCfg := cfg
+	if len(cfg.Files) > 0 {
+		h := fnv.New64a()
+		for _, p := range ukboot.SortedFilePaths(cfg.Files) {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+			h.Write(cfg.Files[p])
+			h.Write([]byte{0})
+		}
+		filesKey = fmt.Sprintf("|files=%d:%x", len(cfg.Files), h.Sum64())
+		renderCfg.Files = nil // elide contents from the render only
+	}
+	key := fmt.Sprintf("%+v%s", renderCfg, filesKey)
 	for {
 		rt.snapMu.Lock()
 		e, ok := rt.snaps[key]

@@ -43,6 +43,23 @@ type Spec struct {
 	// Mount9pfs adds the virtio-9p mount step (§5.2 boot cost).
 	Mount9pfs bool
 
+	// RootFS mounts a populated root filesystem at boot: "ramfs" (the
+	// general vfscore path), "shfs" (the specialized MiniCache volume of
+	// §6.3, bypassing vfscore) or "9pfs" (a shared host export over
+	// virtio-9p). Empty means no filesystem state — the calibrated
+	// baseline. Booted VMs expose the result as VM.VFS / VM.SHFS.
+	RootFS string
+
+	// Files populates the root filesystem (absolute path -> content);
+	// setting it without RootFS implies "ramfs". Snapshot-forked clones
+	// share the populated tree copy-on-write.
+	Files map[string][]byte
+
+	// PageCachePages bounds the instance's VFS page cache in 4 KiB
+	// pages (0 disables). The cache backs the zero-copy Sendfile path;
+	// it requires a vfscore-backed RootFS ("ramfs" or "9pfs").
+	PageCachePages int
+
 	// ZeroCopy enables the zero-copy data path (§3.1): socket layers
 	// hand buffers through by reference instead of copying, so the
 	// per-request cost model drops its per-byte copy charges. Off by
@@ -96,6 +113,13 @@ func (s Spec) With(opts ...Option) Spec {
 	if len(s.ExtraLibs) > 0 {
 		s.ExtraLibs = append([]string(nil), s.ExtraLibs...)
 	}
+	if len(s.Files) > 0 {
+		files := make(map[string][]byte, len(s.Files))
+		for p, data := range s.Files {
+			files[p] = data
+		}
+		s.Files = files
+	}
 	for _, opt := range opts {
 		opt(&s)
 	}
@@ -131,6 +155,15 @@ func (s Spec) String() string {
 	}
 	if s.Mount9pfs {
 		out += " +9pfs"
+	}
+	if s.RootFS != "" {
+		out += " rootfs=" + s.RootFS
+	}
+	if len(s.Files) > 0 {
+		out += fmt.Sprintf(" files=%d", len(s.Files))
+	}
+	if s.PageCachePages > 0 {
+		out += fmt.Sprintf(" pcache=%d", s.PageCachePages)
 	}
 	if s.ZeroCopy {
 		out += " +zc"
@@ -203,6 +236,44 @@ func WithDynamicPageTable() Option {
 // With9pfs adds the virtio-9p mount step to the boot pipeline.
 func With9pfs() Option {
 	return func(s *Spec) { s.Mount9pfs = true }
+}
+
+// WithRootFS mounts a root filesystem at boot: "ramfs", "shfs" or
+// "9pfs". Pick ramfs for the general standard path, shfs for the
+// specialized ~300-cycle open path (Fig 22), 9pfs for a shared host
+// export.
+func WithRootFS(name string) Option {
+	return func(s *Spec) { s.RootFS = name }
+}
+
+// WithFiles populates the root filesystem (absolute path -> content),
+// defaulting RootFS to "ramfs" when none is selected. The map is copied
+// so later mutation by the caller cannot leak into the spec.
+func WithFiles(files map[string][]byte) Option {
+	return func(s *Spec) {
+		if s.Files == nil {
+			s.Files = make(map[string][]byte, len(files))
+		}
+		for p, data := range files {
+			s.Files[p] = data
+		}
+	}
+}
+
+// WithFile adds one file to the root filesystem (see WithFiles).
+func WithFile(path string, data []byte) Option {
+	return func(s *Spec) {
+		if s.Files == nil {
+			s.Files = map[string][]byte{}
+		}
+		s.Files[path] = data
+	}
+}
+
+// WithPageCache bounds the instance's VFS page cache (4 KiB pages) —
+// the store behind the zero-copy Sendfile path.
+func WithPageCache(pages int) Option {
+	return func(s *Spec) { s.PageCachePages = pages }
 }
 
 // WithZeroCopy enables the zero-copy data path: buffer handoff by
