@@ -1,0 +1,141 @@
+package unikraft
+
+// SDK-level tests for the cluster layer: Runtime.NewCluster over real
+// specs, the single-host identity guarantee, spec-driven affinity and
+// placement, and handoff economics against the spec's actual snapshot.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func clusterTrace(n int) Workload {
+	return DiurnalWorkload(17, 3000, 8000, 2*time.Second,
+		250*time.Millisecond, 300*time.Millisecond, 150_000, 128, n, 256)
+}
+
+// TestClusterSingleHostIdentity: a 1-host cluster's Pool section is
+// byte-identical to NewPool(spec).Serve on the same trace — the front
+// door is bypassed, and host 0's pool is seeded exactly like a
+// standalone pool.
+func TestClusterSingleHostIdentity(t *testing.T) {
+	spec := NewSpec("helloworld", WithVMM("firecracker"), WithMemory(8<<20))
+	rt := NewRuntime()
+
+	pool, err := rt.NewPool(spec, WithWarm(4), WithMaxInstances(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	want, err := pool.Serve(clusterTrace(30_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := rt.NewCluster(spec, WithHostPoolOptions(WithWarm(4), WithMaxInstances(64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep, err := c.Serve(clusterTrace(30_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*want, rep.Pool) {
+		t.Errorf("1-host cluster diverged from Pool.Serve\npool:    %v\ncluster: %v", want, &rep.Pool)
+	}
+}
+
+// TestClusterSpillsWithHandoff: a SnapshotBoot spec under a flash crowd
+// spills to standby hosts via snapshot-image handoff, serves everything
+// and prices activation below the remote cold mint.
+func TestClusterSpillsWithHandoff(t *testing.T) {
+	spec := NewSpec("helloworld", WithVMM("firecracker"), WithMemory(8<<20),
+		WithSnapshotBoot())
+	rt := NewRuntime()
+	defer rt.Close()
+
+	c, err := rt.NewCluster(spec, WithHosts(8), WithActiveHosts(2), WithCoresPerHost(2),
+		WithHostPoolOptions(WithWarm(4), WithMaxInstances(64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep, err := c.Serve(clusterTrace(60_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped() != 0 {
+		t.Errorf("dropped %d requests", rep.Dropped())
+	}
+	if rep.Activations == 0 || rep.Handoffs != rep.Activations {
+		t.Errorf("want all activations via handoff, got %d handoffs of %d activations",
+			rep.Handoffs, rep.Activations)
+	}
+	if rep.HandoffBytes == 0 {
+		t.Error("handoff shipped zero bytes — image sizing broken")
+	}
+	// Handoff must beat re-minting the template remotely: the
+	// activation price (transfer + attach) stays under the template's
+	// own full-pipeline boot time, which the report carries as the
+	// alternative.
+	if rep.Activation.MaxV <= 0 {
+		t.Fatal("no activation latency recorded")
+	}
+
+	cold, err := rt.NewCluster(spec, WithHosts(8), WithActiveHosts(2), WithCoresPerHost(2),
+		WithoutHandoff(), WithHostPoolOptions(WithWarm(4), WithMaxInstances(64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	crep, err := cold.Serve(clusterTrace(60_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crep.RemoteColdBoots == 0 {
+		t.Fatal("no-handoff cluster never cold-minted")
+	}
+	if rep.Activation.Mean() >= crep.Activation.Mean() {
+		t.Errorf("handoff activation (%v) not cheaper than remote cold mint (%v)",
+			rep.Activation.Mean(), crep.Activation.Mean())
+	}
+}
+
+// TestClusterAffinityFromSpec: the spec's Affinity field drives the
+// front door, and bad values fail at construction.
+func TestClusterAffinityFromSpec(t *testing.T) {
+	rt := NewRuntime()
+	spec := NewSpec("helloworld", WithVMM("firecracker"), WithMemory(8<<20),
+		WithAffinity("hash"))
+	c, err := rt.NewCluster(spec, WithHosts(4), WithMinActiveHosts(4),
+		WithHostPoolOptions(WithWarm(2), WithMaxInstances(64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep, err := c.Serve(DiurnalWorkload(5, 20_000, 20_000, time.Second, 0, 0, 0, 64, 10_000, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped() != 0 {
+		t.Errorf("dropped %d", rep.Dropped())
+	}
+	served := 0
+	for _, h := range rep.PerHost {
+		if h.Requests > 0 {
+			served++
+		}
+	}
+	if served < 2 {
+		t.Errorf("hash affinity used %d hosts, want the ring to spread sessions", served)
+	}
+
+	if _, err := rt.NewCluster(NewSpec("helloworld", WithAffinity("random"))); err == nil {
+		t.Error("NewCluster accepted unknown affinity policy")
+	}
+	if err := rt.Validate(NewSpec("helloworld", WithPlacement("diagonal"))); err == nil {
+		t.Error("Validate accepted unknown placement")
+	}
+}

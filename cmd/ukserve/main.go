@@ -3,9 +3,15 @@
 // synthetic traffic trace (Poisson or bursty, millions of requests)
 // through the fleet, printing the serve report.
 //
+// With -hosts N (N > 1) it serves through the cluster layer instead:
+// N simulated hosts behind the front-door router, each with its own
+// pool, spilling to standby hosts under load via snapshot handoff.
+//
 //	ukserve                                    1M-request steady default
 //	ukserve -requests 5000000 -rate 400000     heavier steady load
 //	ukserve -trace bursty -burst-rate 500000   on/off load, autoscaler working
+//	ukserve -hosts 8 -active 2 -fork \
+//	        -affinity least-loaded -trace diurnal   flash crowd over a cluster
 //	ukserve -json                              machine-readable report
 package main
 
@@ -28,6 +34,14 @@ func main() {
 		fork   = flag.Bool("fork", false, "snapshot-fork instantiation: boot one template, clone the fleet copy-on-write")
 		stages = flag.Bool("stages", false, "staged init tables: independent boot constructors charge max, not sum")
 
+		hosts     = flag.Int("hosts", 1, "cluster size; >1 serves through the front-door router")
+		cores     = flag.Int("cores", 1, "event-loop shards per host")
+		active    = flag.Int("active", 0, "hosts active from the start (default all)")
+		minActive = flag.Int("min-active", 1, "scale-down floor")
+		affinity  = flag.String("affinity", "", "front-door policy: least-loaded, round-robin, hash")
+		placement = flag.String("placement", "", "autoscale bias: spread (default) or pack")
+		noHandoff = flag.Bool("no-handoff", false, "activate standby hosts by remote cold mint instead of snapshot handoff")
+
 		warm      = flag.Int("warm", 8, "warm-instance floor")
 		maxInst   = flag.Int("max", 256, "fleet cap")
 		coldBurst = flag.Int("cold-burst", 32, "max cold boots in flight")
@@ -40,9 +54,14 @@ func main() {
 		bytes     = flag.Int("bytes", 256, "request payload size")
 		seed      = flag.Uint64("seed", 1, "trace seed")
 		trace     = flag.String("trace", "poisson", "trace shape: poisson or bursty")
-		burstRate = flag.Float64("burst-rate", 0, "bursty: in-burst rate (default 10x -rate)")
+		burstRate = flag.Float64("burst-rate", 0, "bursty/diurnal: burst or flash-crowd rate (default 10x -rate)")
 		period    = flag.Duration("period", 200*time.Millisecond, "bursty: on/off period")
 		duty      = flag.Float64("duty", 0.2, "bursty: burst fraction of each period")
+		day       = flag.Duration("day", 2*time.Second, "diurnal: sinusoid period (the virtual day)")
+		peakRate  = flag.Float64("peak-rate", 0, "diurnal: daily peak rate (default 2x -rate)")
+		flashAt   = flag.Duration("flash-at", 250*time.Millisecond, "diurnal: flash-crowd start")
+		flashDur  = flag.Duration("flash-dur", 300*time.Millisecond, "diurnal: flash-crowd length")
+		sessions  = flag.Int("sessions", 1024, "diurnal: session-key population (keys drive hash affinity)")
 
 		syscalls  = flag.Int("syscalls", 4, "shim syscalls per request")
 		appCycles = flag.Uint64("app-cycles", 12_000, "application cycles per request")
@@ -64,6 +83,12 @@ func main() {
 	if *stages {
 		spec = spec.With(unikraft.WithInitStages())
 	}
+	if *affinity != "" {
+		spec = spec.With(unikraft.WithAffinity(*affinity))
+	}
+	if *placement != "" {
+		spec = spec.With(unikraft.WithPlacement(*placement))
+	}
 
 	opts := []unikraft.PoolOption{
 		unikraft.WithWarm(*warm),
@@ -76,11 +101,6 @@ func main() {
 	if *noScale {
 		opts = append(opts, unikraft.DisableAutoscale())
 	}
-	pool, err := rt.NewPool(spec, opts...)
-	if err != nil {
-		fatal(err)
-	}
-	defer pool.Close()
 
 	var w unikraft.Workload
 	switch *trace {
@@ -92,23 +112,73 @@ func main() {
 			br = 10 * *rate
 		}
 		w = unikraft.BurstyWorkload(*seed, *rate, br, *period, *duty, *requests, *bytes)
+	case "diurnal":
+		pr := *peakRate
+		if pr <= 0 {
+			pr = 2 * *rate
+		}
+		fr := *burstRate
+		if fr <= 0 {
+			fr = 10 * *rate
+		}
+		w = unikraft.DiurnalWorkload(*seed, *rate, pr, *day,
+			*flashAt, *flashDur, fr, *sessions, *requests, *bytes)
 	default:
-		fatal(fmt.Errorf("unknown trace %q (have poisson, bursty)", *trace))
+		fatal(fmt.Errorf("unknown trace %q (have poisson, bursty, diurnal)", *trace))
 	}
 
+	if *hosts > 1 {
+		copts := []unikraft.ClusterOption{
+			unikraft.WithHosts(*hosts),
+			unikraft.WithCoresPerHost(*cores),
+			unikraft.WithMinActiveHosts(*minActive),
+			unikraft.WithHostPoolOptions(opts...),
+		}
+		if *active > 0 {
+			copts = append(copts, unikraft.WithActiveHosts(*active))
+		}
+		if *noHandoff {
+			copts = append(copts, unikraft.WithoutHandoff())
+		}
+		c, err := rt.NewCluster(spec, copts...)
+		if err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		rep, err := c.Serve(w)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			emit(clusterJSON(spec, rep))
+			return
+		}
+		fmt.Printf("spec     %s\n%s\n", spec, rep)
+		return
+	}
+
+	pool, err := rt.NewPool(spec, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer pool.Close()
 	rep, err := pool.Serve(w)
 	if err != nil {
 		fatal(err)
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(reportJSON(spec, rep)); err != nil {
-			fatal(err)
-		}
+		emit(reportJSON(spec, rep))
 		return
 	}
 	fmt.Printf("spec     %s\n%s\n", spec, rep)
+}
+
+func emit(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
 }
 
 // reportJSON flattens the report (histograms to percentile summaries)
@@ -142,6 +212,43 @@ func reportJSON(spec unikraft.Spec, r *unikraft.ServeReport) map[string]any {
 		"boot":           hist(&r.Boot),
 		"coldboot":       hist(&r.ColdBoot),
 		"latency":        hist(&r.Latency),
+	}
+}
+
+// clusterJSON flattens a cluster report: control-plane counters, the
+// merged pool section, and the per-host breakdown.
+func clusterJSON(spec unikraft.Spec, r *unikraft.ClusterReport) map[string]any {
+	perHost := make([]map[string]any, 0, len(r.PerHost))
+	for _, h := range r.PerHost {
+		perHost = append(perHost, map[string]any{
+			"host": h.Host, "requests": h.Requests,
+			"warm_hits": h.WarmHits, "cold_boots": h.ColdBoots, "fork_boots": h.ForkBoots,
+			"utilization":     h.Utilization,
+			"latency_p50_ns":  h.LatencyP50.Nanoseconds(),
+			"latency_p99_ns":  h.LatencyP99.Nanoseconds(),
+			"activated_at_ns": h.ActivatedAt.Nanoseconds(),
+			"drained":         h.Drained,
+		})
+	}
+	return map[string]any{
+		"spec":              spec.String(),
+		"hosts":             r.Hosts,
+		"cores_per_host":    r.Cores,
+		"policy":            r.Policy.String(),
+		"offered":           r.Offered,
+		"dropped":           r.Dropped(),
+		"active_start":      r.ActiveStart,
+		"active_peak":       r.ActivePeak,
+		"active_end":        r.ActiveEnd,
+		"activations":       r.Activations,
+		"handoffs":          r.Handoffs,
+		"remote_cold_boots": r.RemoteColdBoots,
+		"handoff_bytes":     r.HandoffBytes,
+		"drains":            r.Drains,
+		"requeued":          r.Requeued,
+		"route_p99_ns":      r.Route.Quantile(0.99).Nanoseconds(),
+		"pool":              reportJSON(spec, &r.Pool),
+		"per_host":          perHost,
 	}
 }
 

@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "txt1",
-		"serve", "zerocopy", "snapboot", "fileserve",
+		"serve", "zerocopy", "snapboot", "fileserve", "cluster",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -354,6 +354,78 @@ func TestFig12Shape(t *testing.T) {
 	// Factor vs the KVM guest: paper 1.74x; accept a broad band.
 	if f := uk / get["linux-kvm"]; f < 1.15 || f > 3.0 {
 		t.Errorf("unikraft/linux-kvm = %.2fx, want ~1.7x", f)
+	}
+}
+
+// TestClusterShape runs the multi-host cluster experiment and validates
+// the acceptance bar: the 10M-request headline trace over 8 hosts with
+// zero drops, flash-crowd activations all via snapshot handoff, and the
+// handoff activation priced below the remote cold mint.
+func TestClusterShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput run")
+	}
+	res, err := Run(DefaultEnv(), "cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := map[string]int{}
+	for i, h := range res.Headers {
+		col[h] = i
+	}
+	rows := map[string][]string{}
+	for _, row := range res.Rows {
+		rows[row[0]] = row
+	}
+	headline := rows["diurnal-flash-10M/least-loaded+handoff"]
+	if headline == nil {
+		t.Fatalf("no headline row: %v", res.Rows)
+	}
+	num := func(row []string, h string) int {
+		t.Helper()
+		v, err := strconv.Atoi(row[col[h]])
+		if err != nil {
+			t.Fatalf("parse %s=%q: %v", h, row[col[h]], err)
+		}
+		return v
+	}
+	if n := num(headline, "served"); n != 10_000_000 {
+		t.Errorf("headline served %d, want exactly 10M", n)
+	}
+	if n := num(headline, "hosts"); n < 8 {
+		t.Errorf("headline ran on %d hosts, want >= 8", n)
+	}
+	if n := num(headline, "dropped"); n != 0 {
+		t.Errorf("headline dropped %d requests", n)
+	}
+	if num(headline, "activations") == 0 {
+		t.Error("flash crowd never forced an activation")
+	}
+	if num(headline, "handoffs") != num(headline, "activations") {
+		t.Errorf("want all activations via handoff: %d of %d",
+			num(headline, "handoffs"), num(headline, "activations"))
+	}
+	// Handoff vs remote cold mint: same trace, same policy, activation
+	// p50 must be cheaper when the image ships instead of re-minting.
+	ho, cold := rows["diurnal-flash-2M/least-loaded+handoff"], rows["diurnal-flash-2M/least-loaded+remote-cold"]
+	if ho == nil || cold == nil {
+		t.Fatalf("policy rows missing: %v", res.Rows)
+	}
+	hp50, err := time.ParseDuration(ho[col["act-p50"]])
+	if err != nil {
+		t.Fatalf("handoff act-p50 %q: %v", ho[col["act-p50"]], err)
+	}
+	cp50, err := time.ParseDuration(cold[col["act-p50"]])
+	if err != nil {
+		t.Fatalf("cold act-p50 %q: %v", cold[col["act-p50"]], err)
+	}
+	if hp50 >= cp50 {
+		t.Errorf("handoff activation p50 %v not below remote cold %v", hp50, cp50)
+	}
+	for _, row := range res.Rows {
+		if n := num(row, "dropped"); n != 0 {
+			t.Errorf("%s dropped %d requests", row[0], n)
+		}
 	}
 }
 

@@ -1,0 +1,70 @@
+package netstack
+
+import "unikraft/internal/sim"
+
+// Front-door routing costs. The cluster layer (internal/ukcluster) puts
+// an L4/L7 router in front of the host fleet; per-request work on the
+// router box is priced here, next to the per-packet costs of the stack
+// it reuses, so the router and the guest stacks stay on one calibrated
+// cost table. All values are cycles at 3.6 GHz.
+//
+// The router's fast path is an L4 flow-table hit: parse the Ethernet/
+// IPv4/TCP headers (the same costEthRx/costIPRx/costTCPSeg work the
+// guest stack charges), look the 5-tuple up in the connection table and
+// forward. The first packet of a flow additionally runs the balancing
+// policy (L7 decision): a round-robin counter bump, a least-loaded scan
+// over per-host counters, or a consistent-hash ring lookup.
+const (
+	// costRouteConnTrack is the 5-tuple hash + connection-table lookup
+	// and the DNAT-style header rewrite on the fast path — the per-
+	// packet price of every routed request beyond plain header parsing.
+	costRouteConnTrack = 190
+
+	// costRoutePolicyRR is the round-robin decision: a counter
+	// increment modulo the active-host count.
+	costRoutePolicyRR = 20
+
+	// costRoutePolicyScanPerHost is the per-host cost of the
+	// least-loaded scan: one outstanding-work counter load + compare
+	// per active host (the router's view, maintained inline).
+	costRoutePolicyScanPerHost = 14
+
+	// costRoutePolicyHash is the consistent-hash decision: hashing the
+	// session key and binary-searching the virtual-node ring. The ring
+	// depth only moves the search by a few cache lines, so one
+	// calibrated constant covers the practical ring sizes.
+	costRoutePolicyHash = 110
+)
+
+// RouterModel prices the front door's per-request work. The zero value
+// is the calibrated default; the struct exists so experiments can
+// sensitize routing cost without recalibrating the constants.
+type RouterModel struct {
+	// ExtraCycles is added to every routed request (TLS termination,
+	// header-rewrite middleware, ...). Zero for the plain L4 router.
+	ExtraCycles uint64
+}
+
+// ChargeRoute charges m for routing one request: header parse,
+// connection-table work, and the policy decision over activeHosts
+// candidates. policyScan selects the least-loaded scan (true) vs a
+// constant-cost decision; policyHash the ring lookup. It returns the
+// cycles charged so callers converting to latency need not re-derive
+// them from the clock.
+func (r RouterModel) ChargeRoute(m *sim.Machine, activeHosts int, policyScan, policyHash bool) uint64 {
+	cycles := uint64(costEthRx+costIPRx+costTCPSeg+costEthTx+costIPTx) +
+		costRouteConnTrack + r.ExtraCycles
+	switch {
+	case policyHash:
+		cycles += costRoutePolicyHash
+	case policyScan:
+		if activeHosts < 1 {
+			activeHosts = 1
+		}
+		cycles += uint64(activeHosts) * costRoutePolicyScanPerHost
+	default:
+		cycles += costRoutePolicyRR
+	}
+	m.Charge(cycles)
+	return cycles
+}

@@ -1,0 +1,399 @@
+package ukcluster
+
+import (
+	"sort"
+	"time"
+
+	"unikraft/internal/sim"
+	"unikraft/internal/ukpool"
+)
+
+// routeState is the front door's per-serve bookkeeping: the router
+// box's pipeline clock, the balancing state, and the autoscaler's
+// hysteresis streaks. The whole phase is a single sequential pass, so
+// nothing here needs synchronization.
+type routeState struct {
+	rep *Report
+	m   *sim.Machine // the router box
+
+	// busyUntil models the router as a single-core store-and-forward
+	// box: requests queue behind each other at the front door, so a
+	// hot enough trace makes the router itself the bottleneck — which
+	// is the truth a fluid model must not hide.
+	busyUntil time.Duration
+
+	rr int // round-robin cursor
+
+	ring      []ringPoint // consistent-hash ring over serving hosts
+	ringDirty bool
+
+	evalAt                  time.Duration // next autoscaler evaluation
+	spillStreak, drainCount int
+
+	// activated (this serve, in order) — drains pop LIFO so the most
+	// recently added capacity retires first and long-lived hosts keep
+	// their caches.
+	activated []int
+}
+
+type ringPoint struct {
+	hash uint64
+	host int
+}
+
+// splitmix64 is the ring/key hash: cheap, well-mixed, deterministic.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// route is phase one: consume the workload, price the front door, pick
+// a host per request (activating and draining hosts along the way) and
+// leave each host's sub-trace in host.assigned. The emitted Request
+// keeps the client-side arrival in Origin and carries the post-router,
+// post-link timestamp in Arrival, so host pools measure end-to-end
+// latency while scheduling on host-local time.
+func (c *Cluster) route(w ukpool.Workload) (*Report, error) {
+	rep := &Report{Hosts: c.cfg.Hosts, Cores: c.cfg.Cores, Policy: c.cfg.Policy}
+	st := &routeState{rep: rep, m: c.cfg.NewMachine(), evalAt: c.cfg.EvalEvery, ringDirty: true}
+
+	for _, h := range c.hosts {
+		h.assigned = nil
+		h.drained = false
+		h.backlog = 0
+		h.lastUpd = 0
+		h.readyAt = 0
+		if h.active {
+			h.activatedAt = -1
+			rep.ActiveStart++
+		}
+	}
+	rep.ActivePeak = rep.ActiveStart
+
+	for {
+		req, ok := w.Next()
+		if !ok {
+			break
+		}
+		rep.Offered++
+		c.autoscale(st, req.Arrival)
+		c.routeOne(st, req, req.Arrival)
+	}
+
+	return rep, nil
+}
+
+// routeOne prices one routing decision on the router box and forwards
+// the request to the chosen host. at is when the request reaches the
+// front door (the client arrival on first pass, the bounce moment for
+// drain requeues); the router processes in order on its own pipeline —
+// the decision lands when the box gets to this request — so a hot
+// enough trace makes the front door itself the bottleneck.
+func (c *Cluster) routeOne(st *routeState, req ukpool.Request, at time.Duration) {
+	start := at
+	if st.busyUntil > start {
+		start = st.busyUntil
+	}
+	scan := c.cfg.Policy == LeastLoaded ||
+		(c.cfg.Policy == ConsistentHash && req.Key == 0)
+	hash := c.cfg.Policy == ConsistentHash && req.Key != 0
+	cycles := c.cfg.Router.ChargeRoute(st.m, c.serving(), scan, hash)
+	st.busyUntil = start + st.m.CPU.Duration(cycles)
+	h := c.pickHost(st, req.Key, st.busyUntil)
+	c.assign(st, h, req, st.busyUntil)
+}
+
+// assign forwards req to host h at router-dispatch time dispatch:
+// charge the link, stamp Origin/Arrival, and grow the fluid backlog.
+func (c *Cluster) assign(st *routeState, h *host, req ukpool.Request, dispatch time.Duration) {
+	arrival := dispatch + c.cfg.Link.ForwardDelay(req.Bytes)
+	origin := req.Arrival
+	if req.Origin != 0 {
+		origin = req.Origin
+	}
+	st.rep.Route.Record(arrival - origin)
+	h.decay(dispatch, c.cfg.Cores)
+	h.backlog += c.cfg.EstService
+	h.assigned = append(h.assigned, ukpool.Request{
+		Arrival: arrival, Bytes: req.Bytes, Key: req.Key, Origin: origin,
+	})
+}
+
+// decay drains the fluid backlog model to time t: the host works the
+// outstanding estimate off at Cores' worth of service per unit time.
+func (h *host) decay(t time.Duration, cores int) {
+	if t <= h.lastUpd {
+		return
+	}
+	worked := (t - h.lastUpd) * time.Duration(cores)
+	if worked >= h.backlog {
+		h.backlog = 0
+	} else {
+		h.backlog -= worked
+	}
+	h.lastUpd = t
+}
+
+// serving counts hosts in the serving set (active, not draining).
+func (c *Cluster) serving() int {
+	n := 0
+	for _, h := range c.hosts {
+		if h.active {
+			n++
+		}
+	}
+	return n
+}
+
+// pickHost runs the balancing policy over the hosts that are active
+// and ready (activation complete) at dispatch time. At least one host
+// is always ready: the serving set never shrinks below MinActive >= 1
+// and initial hosts are ready at t=0.
+func (c *Cluster) pickHost(st *routeState, key uint64, dispatch time.Duration) *host {
+	ready := readyHosts(c.hosts, dispatch)
+	switch c.cfg.Policy {
+	case RoundRobin:
+		h := ready[st.rr%len(ready)]
+		st.rr++
+		return h
+	case ConsistentHash:
+		if key != 0 {
+			return c.ringLookup(st, key, dispatch)
+		}
+	}
+	return leastLoaded(ready, dispatch, c.cfg.Cores)
+}
+
+// readyHosts collects the active hosts whose activation has completed
+// by time t, in host-id order.
+func readyHosts(hosts []*host, t time.Duration) []*host {
+	ready := make([]*host, 0, len(hosts))
+	for _, h := range hosts {
+		if h.active && h.readyAt <= t {
+			ready = append(ready, h)
+		}
+	}
+	return ready
+}
+
+// leastLoaded picks the ready host with the smallest decayed backlog,
+// ties to the lowest host id.
+func leastLoaded(ready []*host, t time.Duration, cores int) *host {
+	best := ready[0]
+	best.decay(t, cores)
+	for _, h := range ready[1:] {
+		h.decay(t, cores)
+		if h.backlog < best.backlog {
+			best = h
+		}
+	}
+	return best
+}
+
+// ringLookup maps a session key onto the virtual-node ring, walking
+// clockwise past hosts that are still warming up. The ring covers the
+// whole serving set (ready or not) so placements stay stable across
+// the brief warm-up window instead of re-shuffling twice.
+func (c *Cluster) ringLookup(st *routeState, key uint64, dispatch time.Duration) *host {
+	if st.ringDirty {
+		st.ring = st.ring[:0]
+		for _, h := range c.hosts {
+			if !h.active {
+				continue
+			}
+			// Two-round hash: vnode points must live in a different
+			// input domain than raw session keys, or small keys (1..N)
+			// collide exactly with host 0's vnodes (0<<20|v = v) and
+			// the whole key space lands on one host.
+			hostSalt := splitmix64(uint64(h.id) + 1)
+			for v := 0; v < c.cfg.VirtualNodes; v++ {
+				st.ring = append(st.ring, ringPoint{
+					hash: splitmix64(hostSalt + uint64(v)),
+					host: h.id,
+				})
+			}
+		}
+		sort.Slice(st.ring, func(i, j int) bool {
+			if st.ring[i].hash != st.ring[j].hash {
+				return st.ring[i].hash < st.ring[j].hash
+			}
+			return st.ring[i].host < st.ring[j].host
+		})
+		st.ringDirty = false
+	}
+	kh := splitmix64(key)
+	i := sort.Search(len(st.ring), func(i int) bool { return st.ring[i].hash >= kh })
+	for probe := 0; probe < len(st.ring); probe++ {
+		p := st.ring[(i+probe)%len(st.ring)]
+		h := c.hosts[p.host]
+		if h.active && h.readyAt <= dispatch {
+			return h
+		}
+	}
+	// No ring member ready (all just activated) — fall back.
+	return leastLoaded(readyHosts(c.hosts, dispatch), dispatch, c.cfg.Cores)
+}
+
+// autoscale runs every evaluation window that elapsed before time now.
+// Spills and drains both require their condition to hold for a streak
+// of consecutive windows (hysteresis), and act one host at a time.
+func (c *Cluster) autoscale(st *routeState, now time.Duration) {
+	for st.evalAt <= now {
+		t := st.evalAt
+		st.evalAt += c.cfg.EvalEvery
+
+		// Average decayed backlog per core across the serving set —
+		// the router's congestion signal.
+		serving := 0
+		var total time.Duration
+		for _, h := range c.hosts {
+			if !h.active {
+				continue
+			}
+			serving++
+			h.decay(t, c.cfg.Cores)
+			total += h.backlog
+		}
+		if serving == 0 {
+			continue
+		}
+		perCore := float64(total) / float64(serving*c.cfg.Cores)
+		est := float64(c.cfg.EstService)
+
+		if perCore > c.cfg.HighWater*est && serving < c.cfg.Hosts {
+			st.spillStreak++
+			if st.spillStreak >= c.cfg.SpillAfter {
+				c.activate(st, t)
+				st.spillStreak = 0
+			}
+		} else {
+			st.spillStreak = 0
+		}
+
+		if perCore < c.cfg.LowWater*est && serving > c.cfg.MinActive {
+			st.drainCount++
+			if st.drainCount >= c.cfg.DrainAfter {
+				c.drain(st, t)
+				st.drainCount = 0
+			}
+		} else {
+			st.drainCount = 0
+		}
+	}
+}
+
+// activate brings the lowest-id standby host into the serving set,
+// paying the activation price: snapshot-image handoff (ship the warm
+// template over the link, attach) when enabled, a full remote template
+// mint otherwise. The host joins immediately for placement stability
+// but only becomes ready — eligible for requests — once the image is
+// in place.
+func (c *Cluster) activate(st *routeState, t time.Duration) {
+	var h *host
+	for _, cand := range c.hosts {
+		if !cand.active {
+			h = cand
+			break
+		}
+	}
+	if h == nil {
+		return
+	}
+	if h.pool == nil {
+		pool, err := c.cfg.NewPool(h.id)
+		if err != nil {
+			// Pool construction is deterministic; a failure here would
+			// have failed in New for the initial hosts too. Leave the
+			// host on standby rather than abort a serve mid-trace.
+			return
+		}
+		h.pool = pool
+	}
+
+	var lat time.Duration
+	act := c.cfg.Activation
+	if act.Handoff {
+		lat = c.cfg.Link.Transfer(act.ImageBytes) + act.Attach
+		st.rep.Handoffs++
+		st.rep.HandoffBytes += int64(act.ImageBytes)
+	} else {
+		lat = c.cfg.Link.RTT + act.ColdBoot
+		st.rep.RemoteColdBoots++
+	}
+
+	h.active = true
+	h.drained = false
+	h.activatedAt = t
+	h.readyAt = t + lat
+	h.backlog = 0
+	h.lastUpd = t + lat
+	st.rep.Activations++
+	st.rep.Activation.Record(lat)
+	st.activated = append(st.activated, h.id)
+	st.ringDirty = true
+	if s := c.serving(); s > st.rep.ActivePeak {
+		st.rep.ActivePeak = s
+	}
+}
+
+// drain retires one host from the serving set: the most recently
+// activated one (LIFO), never host 0 — the template holder seeds every
+// handoff, so the floor always keeps it — and never below MinActive.
+// Requests already forwarded but still in flight on the link bounce
+// back to the front door and are re-routed deterministically.
+func (c *Cluster) drain(st *routeState, t time.Duration) {
+	var h *host
+	for i := len(st.activated) - 1; i >= 0; i-- {
+		cand := c.hosts[st.activated[i]]
+		if cand.active && cand.id != 0 {
+			h = cand
+			st.activated = append(st.activated[:i], st.activated[i+1:]...)
+			break
+		}
+	}
+	if h == nil {
+		// Nothing activated this serve — retire the highest-id initial
+		// host instead (host 0 stays).
+		for i := len(c.hosts) - 1; i > 0; i-- {
+			if c.hosts[i].active {
+				h = c.hosts[i]
+				break
+			}
+		}
+	}
+	if h == nil {
+		return
+	}
+
+	h.active = false
+	h.drained = true
+	st.rep.Drains++
+	st.ringDirty = true
+
+	// In-flight requeue: anything assigned to h that has not yet
+	// arrived there (Arrival > t) returns to the front door and is
+	// re-routed — re-priced through the router, re-forwarded over the
+	// link, original Origin preserved. Requests already at the host
+	// stay: the host finishes its queue before going dark.
+	kept := h.assigned[:0]
+	var bounced []ukpool.Request
+	for _, r := range h.assigned {
+		if r.Arrival > t {
+			bounced = append(bounced, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	h.assigned = kept
+	for _, r := range bounced {
+		// Re-enter the front door at the bounce moment: same router
+		// box, same cost model, Origin preserved so end-to-end latency
+		// still counts from the client arrival.
+		c.routeOne(st, ukpool.Request{
+			Arrival: t, Bytes: r.Bytes, Key: r.Key, Origin: r.Origin,
+		}, t)
+		st.rep.Requeued++
+	}
+}

@@ -1,0 +1,116 @@
+package ukpool
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"unikraft/internal/sim"
+)
+
+// TestHistogramMergeProperty: for arbitrary observation streams,
+// arbitrary shard partitions and arbitrary merge groupings, merging the
+// per-shard histograms is bit-for-bit identical to recording the whole
+// stream sequentially. This is the property ServeParallel's and the
+// cluster layer's deterministic shard/host report merges rely on, so it
+// is exercised as a randomized property, not just one example: 50
+// trials over mixed magnitudes (ns to minutes — many bucket octaves,
+// including values beyond the overflow boundary via direct Record of
+// huge durations).
+func TestHistogramMergeProperty(t *testing.T) {
+	r := sim.NewRand(0x4157)
+	for trial := 0; trial < 50; trial++ {
+		nObs := 100 + r.Intn(2000)
+		nShards := 1 + r.Intn(8)
+
+		var whole Histogram
+		shards := make([]Histogram, nShards)
+		for i := 0; i < nObs; i++ {
+			// Span ~9 decades so every bucket regime is hit, plus the
+			// occasional extreme that lands near MaxV handling.
+			var d time.Duration
+			switch r.Intn(4) {
+			case 0:
+				d = time.Duration(r.Intn(1000)) // sub-µs
+			case 1:
+				d = time.Duration(r.Intn(1_000_000)) * time.Nanosecond
+			case 2:
+				d = time.Duration(r.Intn(5000)) * time.Microsecond
+			default:
+				d = time.Duration(r.Intn(90)) * time.Second
+			}
+			whole.Record(d)
+			shards[r.Intn(nShards)].Record(d)
+		}
+
+		// Merge the shards in a random grouping: repeatedly fold a
+		// random shard into another until one remains. Associativity +
+		// commutativity over integer buckets is exactly what makes the
+		// result independent of goroutine completion order.
+		live := make([]*Histogram, nShards)
+		for i := range shards {
+			live[i] = &shards[i]
+		}
+		for len(live) > 1 {
+			i := r.Intn(len(live))
+			j := r.Intn(len(live) - 1)
+			if j >= i {
+				j++
+			}
+			live[i].Merge(live[j])
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if !reflect.DeepEqual(&whole, live[0]) {
+			t.Fatalf("trial %d (%d obs, %d shards): merged shards diverged from sequential\nwhole:  %v\nmerged: %v",
+				trial, nObs, nShards, &whole, live[0])
+		}
+	}
+}
+
+// TestHistogramMergeExtremes: the merge property holds at the edges of
+// the value range too — zero, negative (clamped to zero) and the
+// largest representable durations.
+func TestHistogramMergeExtremes(t *testing.T) {
+	var whole, a, b Histogram
+	for _, d := range []time.Duration{0, -time.Second, 1, time.Duration(1) << 62, time.Millisecond} {
+		whole.Record(d)
+	}
+	a.Record(0)
+	a.Record(1)
+	a.Record(time.Millisecond)
+	b.Record(-time.Second)
+	b.Record(time.Duration(1) << 62)
+	a.Merge(&b)
+	if !reflect.DeepEqual(&whole, &a) {
+		t.Errorf("extreme-value merge diverged: %v vs %v", &whole, &a)
+	}
+}
+
+// TestHistogramMergeQuantiles: quantiles of a merged histogram match
+// the sequential one across the whole quantile range (they must — the
+// state is identical — but this pins the public read API, not just the
+// internals DeepEqual sees).
+func TestHistogramMergeQuantiles(t *testing.T) {
+	r := sim.NewRand(0xc0ffee)
+	var whole, a, b Histogram
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(r.Intn(10_000_000)) * time.Nanosecond
+		whole.Record(d)
+		if r.Bool(0.3) {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(&b)
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := a.Quantile(q), whole.Quantile(q); got != want {
+			t.Errorf("q=%v: merged %v != sequential %v", q, got, want)
+		}
+	}
+	if a.Mean() != whole.Mean() || a.Count != whole.Count {
+		t.Errorf("merged summary diverged: mean %v/%v count %d/%d",
+			a.Mean(), whole.Mean(), a.Count, whole.Count)
+	}
+}

@@ -338,6 +338,11 @@ type Report struct {
 	// Duration is the virtual makespan: first arrival to last
 	// completion.
 	Duration time.Duration
+	// Busy is the total service time across all completed requests —
+	// the fleet's aggregate busy-clock. Utilization over a run is
+	// Busy / (Duration x serving capacity); the cluster layer reports
+	// it per host.
+	Busy time.Duration
 	// Boot holds per-boot total times (prewarm, cold and scale-up
 	// boots); Latency holds end-to-end request latencies (queue wait +
 	// boot wait + service).
@@ -384,6 +389,7 @@ func (r *Report) Merge(o *Report) {
 	if o.Duration > r.Duration {
 		r.Duration = o.Duration
 	}
+	r.Busy += o.Busy
 	r.Boot.Merge(&o.Boot)
 	r.ColdBoot.Merge(&o.ColdBoot)
 	r.Latency.Merge(&o.Latency)
@@ -498,6 +504,7 @@ func (e *instEvent) Fire(now time.Duration) {
 			st.lastEnd = now
 		}
 		st.rep.Latency.Record(e.lat)
+		st.rep.Busy += e.svc
 		st.winLat.Record(e.lat)
 		// EWMA of service time feeds the autoscaler's Little's-law
 		// estimate (alpha = 1/8).
@@ -751,10 +758,17 @@ func (p *Pool) startService(st *serveState, inst *instance, req Request, now tim
 	svc := p.serviceTime(inst, req.Bytes)
 	st.busy++
 	done := now + svc
+	// Latency runs from the request's origin: its front-door arrival
+	// when the cluster router stamped one, its host arrival otherwise —
+	// so queue wait, boot wait, service and any routing delay all count.
+	origin := req.Arrival
+	if req.Origin != 0 {
+		origin = req.Origin
+	}
 	inst.ev = instEvent{
 		p: p, st: st, inst: inst,
 		kind: evComplete,
-		lat:  done - req.Arrival, // queue wait + boot wait + service
+		lat:  done - origin,
 		svc:  svc,
 	}
 	st.loop.ScheduleAt(done, &inst.ev)

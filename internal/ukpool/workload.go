@@ -1,6 +1,7 @@
 package ukpool
 
 import (
+	"math"
 	"time"
 
 	"unikraft/internal/sim"
@@ -12,6 +13,18 @@ import (
 type Request struct {
 	Arrival time.Duration
 	Bytes   int
+	// Key identifies the session/flow the request belongs to (0 means
+	// anonymous). The pool ignores it; the cluster front door hashes it
+	// for consistent-hash session affinity.
+	Key uint64
+	// Origin, when non-zero, is the request's original arrival at the
+	// cluster front door; end-to-end latency is then measured from it
+	// instead of Arrival. The cluster router sets Arrival to the moment
+	// the request reaches the chosen host (post routing + link) and
+	// keeps the client-side timestamp here, so host queueing and the
+	// routing delay both land in the latency histogram. Zero means
+	// Arrival is the origin (plain single-host serving).
+	Origin time.Duration
 }
 
 // Workload is a stream of requests in non-decreasing arrival order.
@@ -103,6 +116,76 @@ func (b *Bursty) Next() (Request, bool) {
 	gap := b.rnd.ExpFloat64() / rate * float64(time.Second)
 	b.now += time.Duration(gap)
 	return Request{Arrival: b.now, Bytes: b.bytes}, true
+}
+
+// Diurnal is the cluster-scale trace shape: a Poisson process whose
+// rate follows a sinusoidal day/night curve between baseRate (trough)
+// and peakRate (crest) over each period, with an optional flash crowd —
+// a window during which the rate jumps to flashRate regardless of the
+// diurnal phase (a link going viral mid-afternoon). Every request
+// carries a session key drawn uniformly from a fixed session
+// population, so consistent-hash affinity has identities to stick to.
+type Diurnal struct {
+	rnd                *sim.Rand
+	baseRate, peakRate float64
+	period             time.Duration
+	flashAt, flashEnd  time.Duration
+	flashRate          float64
+	sessions           int
+	bytes              int
+	n, i               int
+	now                time.Duration
+}
+
+// NewDiurnal returns n requests of size bytes whose arrival rate swings
+// sinusoidally between baseRate and peakRate per period, spiking to
+// flashRate inside [flashAt, flashAt+flashDur), with session keys drawn
+// from a population of sessions, all derived from seed. flashDur <= 0
+// disables the flash crowd; sessions <= 0 leaves requests anonymous.
+func NewDiurnal(seed uint64, baseRate, peakRate float64, period time.Duration,
+	flashAt, flashDur time.Duration, flashRate float64, sessions, n, bytes int) *Diurnal {
+	if baseRate <= 0 {
+		baseRate = 1
+	}
+	if peakRate < baseRate {
+		peakRate = baseRate
+	}
+	if period <= 0 {
+		period = time.Second
+	}
+	if flashRate < peakRate {
+		flashRate = peakRate
+	}
+	return &Diurnal{
+		rnd: sim.NewRand(seed), baseRate: baseRate, peakRate: peakRate,
+		period: period, flashAt: flashAt, flashEnd: flashAt + flashDur,
+		flashRate: flashRate, sessions: sessions, bytes: bytes, n: n,
+	}
+}
+
+// rate evaluates the modulated arrival rate at virtual time t.
+func (d *Diurnal) rate(t time.Duration) float64 {
+	if d.flashEnd > d.flashAt && t >= d.flashAt && t < d.flashEnd {
+		return d.flashRate
+	}
+	phase := 2 * math.Pi * float64(t%d.period) / float64(d.period)
+	// (1-cos)/2 swings 0→1→0 across the period: trough at t=0.
+	return d.baseRate + (d.peakRate-d.baseRate)*(1-math.Cos(phase))/2
+}
+
+// Next implements Workload.
+func (d *Diurnal) Next() (Request, bool) {
+	if d.i >= d.n {
+		return Request{}, false
+	}
+	d.i++
+	gap := d.rnd.ExpFloat64() / d.rate(d.now) * float64(time.Second)
+	d.now += time.Duration(gap)
+	req := Request{Arrival: d.now, Bytes: d.bytes}
+	if d.sessions > 0 {
+		req.Key = d.rnd.Uint64()%uint64(d.sessions) + 1
+	}
+	return req, true
 }
 
 // Trace replays a fixed request slice — unit tests script exact arrival

@@ -46,6 +46,15 @@ type Request = ukpool.Request
 //	report, err := pool.Serve(unikraft.PoissonWorkload(1, 200_000, 1_000_000, 256))
 //	fmt.Println(report)
 func (rt *Runtime) NewPool(s Spec, opts ...PoolOption) (*Pool, error) {
+	return rt.newPoolSalted(s, 0, opts...)
+}
+
+// newPoolSalted is NewPool with a seed salt mixed into the per-instance
+// machine seeds. Zero salt is NewPool exactly; the cluster layer gives
+// each host a distinct salt so host fleets stay deterministic yet
+// independent, while host 0 (salt 0) remains byte-identical to a
+// standalone pool of the same spec.
+func (rt *Runtime) newPoolSalted(s Spec, salt uint64, opts ...PoolOption) (*Pool, error) {
 	r, err := rt.resolve(s)
 	if err != nil {
 		return nil, err
@@ -60,7 +69,7 @@ func (rt *Runtime) NewPool(s Spec, opts ...PoolOption) (*Pool, error) {
 	}
 	h := fnv.New64a()
 	h.Write([]byte(s.String()))
-	seed := h.Sum64()
+	seed := h.Sum64() + salt
 	machine := func(id int) *sim.Machine {
 		// SplitMix64 increment keeps per-instance seeds well spread.
 		return sim.NewMachineWithSeed(seed + uint64(id)*0x9E3779B97F4A7C15)

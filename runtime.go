@@ -12,6 +12,7 @@ import (
 	"unikraft/internal/ukalloc"
 	"unikraft/internal/ukboot"
 	"unikraft/internal/ukbuild"
+	"unikraft/internal/ukcluster"
 	"unikraft/internal/uknetdev"
 	"unikraft/internal/ukplat"
 )
@@ -212,6 +213,14 @@ func (rt *Runtime) resolve(s Spec) (resolved, error) {
 		if path == "" || path[0] != '/' {
 			return r, fmt.Errorf("unikraft: file paths must be absolute, got %q", path)
 		}
+	}
+	if _, err := ukcluster.PolicyByName(s.Affinity); err != nil {
+		return r, fmt.Errorf("unikraft: %w", err)
+	}
+	switch s.Placement {
+	case "", "spread", "pack":
+	default:
+		return r, fmt.Errorf("unikraft: unknown placement %q (have spread, pack)", s.Placement)
 	}
 	if s.MemBytes < 0 {
 		return r, fmt.Errorf("unikraft: memory must not be negative, got %d (0 means the 64 MiB default)", s.MemBytes)

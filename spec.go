@@ -89,6 +89,19 @@ type Spec struct {
 	// the allocator→scheduler→NIC ordering invariants. Off by default.
 	InitStages bool
 
+	// Affinity selects the front door's balancing policy when the spec
+	// serves through Runtime.NewCluster: "least-loaded" (default),
+	// "round-robin", or "hash" for consistent-hash session affinity
+	// (requests with the same Request.Key keep hitting the same host).
+	// Single-host serving ignores it.
+	Affinity string
+
+	// Placement biases the cluster autoscaler: "spread" (default)
+	// spills to standby hosts eagerly at moderate backlog, "pack"
+	// tolerates several times more backlog per core before paying for
+	// another host. Single-host serving ignores it.
+	Placement string
+
 	// ExtraLibs lists additional micro-libraries whose constructors run
 	// at boot, beyond the ones the profile implies.
 	ExtraLibs []string
@@ -179,6 +192,12 @@ func (s Spec) String() string {
 	}
 	if s.InitStages {
 		out += " +stages"
+	}
+	if s.Affinity != "" {
+		out += " aff=" + s.Affinity
+	}
+	if s.Placement != "" {
+		out += " place=" + s.Placement
 	}
 	if len(s.ExtraLibs) > 0 {
 		out += fmt.Sprintf(" libs=%v", s.ExtraLibs)
@@ -308,6 +327,18 @@ func WithSnapshotBoot() Option {
 // allocator→scheduler→NIC ordering constraints.
 func WithInitStages() Option {
 	return func(s *Spec) { s.InitStages = true }
+}
+
+// WithAffinity selects the cluster front door's balancing policy
+// ("least-loaded", "round-robin", "hash") for Runtime.NewCluster.
+func WithAffinity(policy string) Option {
+	return func(s *Spec) { s.Affinity = policy }
+}
+
+// WithPlacement biases the cluster autoscaler ("spread" or "pack") for
+// Runtime.NewCluster.
+func WithPlacement(strategy string) Option {
+	return func(s *Spec) { s.Placement = strategy }
 }
 
 // WithExtraLibs appends micro-libraries to initialize at boot.
