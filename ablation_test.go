@@ -106,6 +106,7 @@ func BenchmarkAblationSyscallLinking(b *testing.B) {
 // BenchmarkAblationLinkerPasses: isolate how much of the nginx image
 // each optimization removes (the Fig 8 sweep as deltas).
 func BenchmarkAblationLinkerPasses(b *testing.B) {
+	rt := NewRuntime()
 	var def, lto, dce int
 	for i := 0; i < b.N; i++ {
 		for _, c := range []struct {
@@ -116,7 +117,8 @@ func BenchmarkAblationLinkerPasses(b *testing.B) {
 			{ukbuild.Options{LTO: true}, &lto},
 			{ukbuild.Options{DCE: true}, &dce},
 		} {
-			img, err := BuildApp("nginx", PlatformKVM, c.opts)
+			img, err := rt.Build(NewSpec("nginx", WithPlatform(PlatformKVM),
+				WithBuildFlags(c.opts.DCE, c.opts.LTO)))
 			if err != nil {
 				b.Fatal(err)
 			}

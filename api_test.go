@@ -141,7 +141,7 @@ func TestSpecSnapshotBoot(t *testing.T) {
 func TestPoolSpecSnapshotBoot(t *testing.T) {
 	rt := NewRuntime()
 	serve := func(spec Spec) *ServeReport {
-		pool, err := rt.NewPool(spec, WithWarm(2), WithMaxInstances(32), WithColdBurst(2))
+		pool, err := rt.NewPool(spec, WithPoolWarm(2), WithPoolMaxInstances(32), WithPoolColdBurst(2))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -172,7 +172,7 @@ func TestPoolSpecSnapshotBoot(t *testing.T) {
 func TestPoolSpecZeroCopy(t *testing.T) {
 	rt := NewRuntime()
 	serve := func(spec Spec) *ServeReport {
-		pool, err := rt.NewPool(spec, WithWarm(2), DisableAutoscale())
+		pool, err := rt.NewPool(spec, WithPoolWarm(2), DisablePoolAutoscale())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -203,7 +203,7 @@ func TestPoolServeParallelFacade(t *testing.T) {
 		}
 		return TraceWorkload(reqs)
 	}
-	seqPool, err := rt.NewPool(spec, WithWarm(4), WithMaxInstances(4), DisableAutoscale())
+	seqPool, err := rt.NewPool(spec, WithPoolWarm(4), WithPoolMaxInstances(4), DisablePoolAutoscale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestPoolServeParallelFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parPool, err := rt.NewPool(spec, WithWarm(4), WithMaxInstances(4), DisableAutoscale())
+	parPool, err := rt.NewPool(spec, WithPoolWarm(4), WithPoolMaxInstances(4), DisablePoolAutoscale())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -215,14 +215,17 @@ func BenchmarkSnapboot(b *testing.B) {
 // TestPublicAPI exercises the facade end to end (build, boot, min
 // memory, experiment registry).
 func TestPublicAPI(t *testing.T) {
-	img, err := BuildApp("nginx", PlatformKVM, BuildOptions{DCE: true, LTO: true})
+	rt := NewRuntime()
+	img, err := rt.Build(NewSpec("nginx",
+		WithPlatform(PlatformKVM), WithDCE(), WithLTO()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if img.Bytes < 700<<10 || img.Bytes > 900<<10 {
 		t.Errorf("nginx dce+lto image = %d bytes, want ~832.8KB", img.Bytes)
 	}
-	vm, err := BootApp("nginx", BootOptions{VMM: "firecracker", MemBytes: 128 << 20})
+	vm, err := rt.Boot(NewSpec("nginx", WithDCE(), WithLTO(),
+		WithVMM("firecracker"), WithMemory(128<<20)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,11 +237,11 @@ func TestPublicAPI(t *testing.T) {
 		t.Errorf("only %d experiments registered", len(Experiments()))
 	}
 	for _, app := range Apps() {
-		if _, err := BuildApp(app, PlatformKVM, BuildOptions{}); err != nil {
-			t.Errorf("BuildApp(%s): %v", app, err)
+		if _, err := rt.Build(NewSpec(app, WithPlatform(PlatformKVM))); err != nil {
+			t.Errorf("Build(%s): %v", app, err)
 		}
 	}
-	if _, err := BuildApp("no-such-app", PlatformKVM, BuildOptions{}); err == nil {
+	if _, err := rt.Build(NewSpec("no-such-app", WithPlatform(PlatformKVM))); err == nil {
 		t.Error("unknown app built successfully")
 	}
 	if _, err := NewAllocator("tlsf", 1<<20); err != nil {

@@ -71,8 +71,8 @@ func WithoutHandoff() ClusterOption {
 	return func(c *clusterSettings) { c.noHandoff = true }
 }
 
-// WithHostPoolOptions passes pool options (WithWarm, WithMaxInstances,
-// ...) through to every host's pool.
+// WithHostPoolOptions passes pool options (WithPoolWarm,
+// WithPoolMaxInstances, ...) through to every host's pool.
 func WithHostPoolOptions(opts ...PoolOption) ClusterOption {
 	return func(c *clusterSettings) { c.poolOpts = append(c.poolOpts, opts...) }
 }
@@ -111,6 +111,11 @@ func (rt *Runtime) NewCluster(s Spec, opts ...ClusterOption) (*Cluster, error) {
 	var set clusterSettings
 	for _, opt := range opts {
 		opt(&set)
+	}
+	// An SMP spec defaults each host's serving parallelism to its vCPU
+	// count; WithCoresPerHost still overrides.
+	if set.cores == 0 && s.VCPUs > 1 {
+		set.cores = s.VCPUs
 	}
 	policy, err := ukcluster.PolicyByName(s.Affinity)
 	if err != nil {

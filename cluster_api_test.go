@@ -23,7 +23,7 @@ func TestClusterSingleHostIdentity(t *testing.T) {
 	spec := NewSpec("helloworld", WithVMM("firecracker"), WithMemory(8<<20))
 	rt := NewRuntime()
 
-	pool, err := rt.NewPool(spec, WithWarm(4), WithMaxInstances(64))
+	pool, err := rt.NewPool(spec, WithPoolWarm(4), WithPoolMaxInstances(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestClusterSingleHostIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c, err := rt.NewCluster(spec, WithHostPoolOptions(WithWarm(4), WithMaxInstances(64)))
+	c, err := rt.NewCluster(spec, WithHostPoolOptions(WithPoolWarm(4), WithPoolMaxInstances(64)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestClusterSpillsWithHandoff(t *testing.T) {
 	defer rt.Close()
 
 	c, err := rt.NewCluster(spec, WithHosts(8), WithActiveHosts(2), WithCoresPerHost(2),
-		WithHostPoolOptions(WithWarm(4), WithMaxInstances(64)))
+		WithHostPoolOptions(WithPoolWarm(4), WithPoolMaxInstances(64)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestClusterSpillsWithHandoff(t *testing.T) {
 	}
 
 	cold, err := rt.NewCluster(spec, WithHosts(8), WithActiveHosts(2), WithCoresPerHost(2),
-		WithoutHandoff(), WithHostPoolOptions(WithWarm(4), WithMaxInstances(64)))
+		WithoutHandoff(), WithHostPoolOptions(WithPoolWarm(4), WithPoolMaxInstances(64)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestClusterAffinityFromSpec(t *testing.T) {
 	spec := NewSpec("helloworld", WithVMM("firecracker"), WithMemory(8<<20),
 		WithAffinity("hash"))
 	c, err := rt.NewCluster(spec, WithHosts(4), WithMinActiveHosts(4),
-		WithHostPoolOptions(WithWarm(2), WithMaxInstances(64)))
+		WithHostPoolOptions(WithPoolWarm(2), WithPoolMaxInstances(64)))
 	if err != nil {
 		t.Fatal(err)
 	}

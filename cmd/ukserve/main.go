@@ -12,6 +12,8 @@
 //	ukserve -trace bursty -burst-rate 500000   on/off load, autoscaler working
 //	ukserve -hosts 8 -active 2 -fork \
 //	        -affinity least-loaded -trace diurnal   flash crowd over a cluster
+//	ukserve -vcpus 4 -queues 4                 SMP guests: 4 cores, 4 NIC queue pairs
+//	ukserve -profile fastpath                  named option profile (zero-copy + batching + forks)
 //	ukserve -json                              machine-readable report
 package main
 
@@ -33,9 +35,12 @@ func main() {
 		memMB  = flag.Int("mem", 8, "guest memory per instance, MiB")
 		fork   = flag.Bool("fork", false, "snapshot-fork instantiation: boot one template, clone the fleet copy-on-write")
 		stages = flag.Bool("stages", false, "staged init tables: independent boot constructors charge max, not sum")
+		vcpus  = flag.Int("vcpus", 0, "guest vCPUs per instance (0 = single core)")
+		queues = flag.Int("queues", 0, "NIC TX/RX queue pairs per instance (0 = one pair)")
+		prof   = flag.String("profile", "", "apply a named option profile first (see unikraft.Profiles)")
 
 		hosts     = flag.Int("hosts", 1, "cluster size; >1 serves through the front-door router")
-		cores     = flag.Int("cores", 1, "event-loop shards per host")
+		cores     = flag.Int("cores", 0, "event-loop shards per host (0 = guest vCPU count)")
 		active    = flag.Int("active", 0, "hosts active from the start (default all)")
 		minActive = flag.Int("min-active", 1, "scale-down floor")
 		affinity  = flag.String("affinity", "", "front-door policy: least-loaded, round-robin, hash")
@@ -70,10 +75,21 @@ func main() {
 	flag.Parse()
 
 	rt := unikraft.NewRuntime()
-	spec := unikraft.NewSpec(*app,
+	base := []unikraft.Option{}
+	if *prof != "" {
+		base = append(base, unikraft.Profile(*prof))
+	}
+	base = append(base,
 		unikraft.WithVMM(*vmm),
 		unikraft.WithMemory(*memMB<<20),
 		unikraft.WithDCE(), unikraft.WithLTO())
+	spec := unikraft.NewSpec(*app, base...)
+	if *vcpus > 0 {
+		spec = spec.With(unikraft.WithVCPUs(*vcpus))
+	}
+	if *queues > 0 {
+		spec = spec.With(unikraft.WithNetQueues(*queues))
+	}
 	if *alloc != "" {
 		spec = spec.With(unikraft.WithAllocator(*alloc))
 	}
@@ -91,15 +107,15 @@ func main() {
 	}
 
 	opts := []unikraft.PoolOption{
-		unikraft.WithWarm(*warm),
-		unikraft.WithMaxInstances(*maxInst),
-		unikraft.WithColdBurst(*coldBurst),
-		unikraft.WithScaleWindow(*window),
-		unikraft.WithTargetP99(*p99),
-		unikraft.WithServiceCost(*syscalls, *appCycles),
+		unikraft.WithPoolWarm(*warm),
+		unikraft.WithPoolMaxInstances(*maxInst),
+		unikraft.WithPoolColdBurst(*coldBurst),
+		unikraft.WithPoolScaleWindow(*window),
+		unikraft.WithPoolTargetP99(*p99),
+		unikraft.WithPoolServiceCost(*syscalls, *appCycles),
 	}
 	if *noScale {
-		opts = append(opts, unikraft.DisableAutoscale())
+		opts = append(opts, unikraft.DisablePoolAutoscale())
 	}
 
 	var w unikraft.Workload
@@ -130,9 +146,11 @@ func main() {
 	if *hosts > 1 {
 		copts := []unikraft.ClusterOption{
 			unikraft.WithHosts(*hosts),
-			unikraft.WithCoresPerHost(*cores),
 			unikraft.WithMinActiveHosts(*minActive),
 			unikraft.WithHostPoolOptions(opts...),
+		}
+		if *cores > 0 {
+			copts = append(copts, unikraft.WithCoresPerHost(*cores))
 		}
 		if *active > 0 {
 			copts = append(copts, unikraft.WithActiveHosts(*active))

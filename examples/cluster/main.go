@@ -34,7 +34,7 @@ func main() {
 		unikraft.WithActiveHosts(2),
 		unikraft.WithCoresPerHost(2),
 		unikraft.WithHostPoolOptions(
-			unikraft.WithWarm(8), unikraft.WithMaxInstances(128)))
+			unikraft.WithPoolWarm(8), unikraft.WithPoolMaxInstances(128)))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func main() {
 		unikraft.WithCoresPerHost(2),
 		unikraft.WithoutHandoff(),
 		unikraft.WithHostPoolOptions(
-			unikraft.WithWarm(8), unikraft.WithMaxInstances(128)))
+			unikraft.WithPoolWarm(8), unikraft.WithPoolMaxInstances(128)))
 	if err != nil {
 		log.Fatal(err)
 	}

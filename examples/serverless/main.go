@@ -22,8 +22,8 @@ func main() {
 		unikraft.WithDCE(), unikraft.WithLTO())
 
 	pool, err := rt.NewPool(spec,
-		unikraft.WithWarm(8),
-		unikraft.WithMaxInstances(128))
+		unikraft.WithPoolWarm(8),
+		unikraft.WithPoolMaxInstances(128))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,8 +60,8 @@ func main() {
 	// clones the fleet copy-on-write — cold starts drop below a
 	// millisecond and the burst tail follows.
 	forkPool, err := rt.NewPool(spec.With(unikraft.WithSnapshotBoot()),
-		unikraft.WithWarm(8),
-		unikraft.WithMaxInstances(128))
+		unikraft.WithPoolWarm(8),
+		unikraft.WithPoolMaxInstances(128))
 	if err != nil {
 		log.Fatal(err)
 	}

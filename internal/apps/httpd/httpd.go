@@ -418,6 +418,21 @@ func NewLoadGen(stack *netstack.Stack, addr netstack.AddrPort, n int) *LoadGen {
 	return g
 }
 
+// NewLoadGenPorts opens one connection per entry of ports, each from
+// that source port. Multi-queue benchmarks choose the ports so the RSS
+// hash spreads connections evenly over the server's queues (wrk pinned
+// behind pktgen-style source-port selection).
+func NewLoadGenPorts(stack *netstack.Stack, addr netstack.AddrPort, ports []uint16) *LoadGen {
+	g := &LoadGen{stack: stack}
+	for i, p := range ports {
+		tc, err := stack.ConnectTCPFrom(p, addr)
+		if err == nil {
+			g.conns = append(g.conns, &genConn{tc: tc, next: i})
+		}
+	}
+	return g
+}
+
 // SetPaths makes the generator request the given path mix (weighted by
 // repetition) instead of the fixed /index.html. Connections start at
 // staggered offsets so the mix interleaves across the fleet

@@ -296,6 +296,20 @@ func NewBench(stack *netstack.Stack, addr netstack.AddrPort, conns int, set bool
 	return b
 }
 
+// NewBenchPorts connects one benchmark connection per entry of ports,
+// each pinned to that source port so its RSS hash — and therefore the
+// server queue/vCPU serving it — is chosen by the caller.
+func NewBenchPorts(stack *netstack.Stack, addr netstack.AddrPort, ports []uint16, set bool) *Bench {
+	b := &Bench{stack: stack, setMode: set}
+	for _, p := range ports {
+		tc, err := stack.ConnectTCPFrom(p, addr)
+		if err == nil {
+			b.conns = append(b.conns, &benchConn{tc: tc})
+		}
+	}
+	return b
+}
+
 // Ready reports all connections established.
 func (b *Bench) Ready() bool {
 	for _, c := range b.conns {

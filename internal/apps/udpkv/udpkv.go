@@ -16,6 +16,7 @@ import (
 	"bytes"
 
 	"unikraft/internal/netstack"
+	"unikraft/internal/sim"
 	"unikraft/internal/uknetdev"
 )
 
@@ -109,6 +110,12 @@ type RawServer struct {
 	dev   *uknetdev.VirtioNet
 	addr  netstack.IPv4Addr
 	port  uint16
+	// q is the device queue pair this server polls; machine is the vCPU
+	// doing the work. An SMP guest runs one RawServer per core, each on
+	// its own queue (see NewRawServerQueue); RSS keeps every flow on one
+	// server, so the shared Store never sees a key from two cores.
+	q       int
+	machine *sim.Machine
 
 	rx   []*uknetdev.Netbuf
 	ipID uint16
@@ -117,20 +124,28 @@ type RawServer struct {
 	Served, Dropped uint64
 }
 
-// NewRawServer attaches to a started device.
+// NewRawServer attaches to a started device, polling queue 0 and
+// charging the device's machine — the single-core Table 4 shape.
 func NewRawServer(dev *uknetdev.VirtioNet, addr netstack.IPv4Addr, port uint16, st *Store) *RawServer {
+	return NewRawServerQueue(dev, 0, dev.Machine(), addr, port, st)
+}
+
+// NewRawServerQueue attaches one polling server to queue q of a
+// multi-queue device, charging request processing to m (the vCPU that
+// owns the queue). All servers of one device share the Store.
+func NewRawServerQueue(dev *uknetdev.VirtioNet, q int, m *sim.Machine, addr netstack.IPv4Addr, port uint16, st *Store) *RawServer {
 	rx := make([]*uknetdev.Netbuf, 32)
 	for i := range rx {
 		rx[i] = uknetdev.NewNetbuf(0, 2048)
 	}
-	return &RawServer{Store: st, dev: dev, addr: addr, port: port, rx: rx}
+	return &RawServer{Store: st, dev: dev, addr: addr, port: port, q: q, machine: m, rx: rx}
 }
 
 // Poll runs one polling iteration: burst-receive, handle, burst-send.
 func (s *RawServer) Poll() int {
 	served := 0
 	for {
-		n, more, err := s.dev.RxBurst(0, s.rx)
+		n, more, err := s.dev.RxBurst(s.q, s.rx)
 		if err != nil || n == 0 {
 			return served
 		}
@@ -143,7 +158,7 @@ func (s *RawServer) Poll() int {
 			}
 		}
 		if len(replies) > 0 {
-			s.dev.TxBurst(0, replies)
+			s.dev.TxBurst(s.q, replies)
 			served += len(replies)
 		}
 		if !more {
@@ -161,7 +176,7 @@ const rawPerRequestCycles = 420
 // handleFrame parses an Ethernet/IPv4/UDP request inline and builds the
 // reply frame. ARP is answered so a standard client stack can reach us.
 func (s *RawServer) handleFrame(frame []byte) *uknetdev.Netbuf {
-	s.dev.Machine().Charge(rawPerRequestCycles)
+	s.machine.Charge(rawPerRequestCycles)
 	eth, l3, err := netstack.ParseEth(frame)
 	if err != nil {
 		return nil
@@ -230,7 +245,14 @@ type Client struct {
 
 // NewClient binds an ephemeral socket toward dst.
 func NewClient(stack *netstack.Stack, dst netstack.AddrPort) (*Client, error) {
-	conn, err := stack.BindUDP(0)
+	return NewClientFrom(stack, 0, dst)
+}
+
+// NewClientFrom binds a specific source port toward dst (0 = ephemeral).
+// Multi-queue benchmarks pin source ports so each client flow RSS-hashes
+// to a chosen server queue.
+func NewClientFrom(stack *netstack.Stack, srcPort uint16, dst netstack.AddrPort) (*Client, error) {
+	conn, err := stack.BindUDP(srcPort)
 	if err != nil {
 		return nil, err
 	}

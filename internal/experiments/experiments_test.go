@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "txt1",
-		"serve", "zerocopy", "snapboot", "fileserve", "cluster",
+		"serve", "zerocopy", "snapboot", "fileserve", "cluster", "smpscale",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -445,4 +445,58 @@ func parseM(t *testing.T, s string) float64 {
 		t.Fatalf("parse %q: %v", s, err)
 	}
 	return v
+}
+
+// TestSMPScaleShape runs the multi-queue scaling sweep and validates
+// the acceptance bar: the udpkv 1-core row reproduces Table 4's
+// uknetdev-polling regime, and every workload scales at least 6x from
+// 1 to 8 cores (the shared-nothing udpkv path is exactly 8x by
+// construction).
+func TestSMPScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput run")
+	}
+	res, err := Run(DefaultEnv(), "smpscale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len([]string{"udpkv-raw", "nginx", "redis-set"}) * len(smpCoreCounts); len(res.Rows) != want {
+		t.Fatalf("got %d rows, want %d: %v", len(res.Rows), want, res.Rows)
+	}
+	rate := map[string]map[string]float64{}
+	for _, row := range res.Rows {
+		if rate[row[0]] == nil {
+			rate[row[0]] = map[string]float64{}
+		}
+		rate[row[0]][row[1]] = parseK(t, row[2])
+	}
+	if r := rate["udpkv-raw"]["1"]; r < 3000 || r > 12000 {
+		t.Errorf("udpkv-raw 1-core = %.0fK req/s, want tab4 regime ~6228K", r)
+	}
+	for app, rows := range rate {
+		one, eight := rows["1"], rows["8"]
+		if one == 0 || eight == 0 {
+			t.Fatalf("%s missing 1- or 8-core row: %v", app, rows)
+		}
+		if s := eight / one; s < 6 {
+			t.Errorf("%s scaled %.2fx from 1 to 8 cores, want >= 6x", app, s)
+		}
+	}
+}
+
+// TestSMPScaleLinearity is the cheap always-on check: the shared-nothing
+// udpkv datapath doubles exactly when the core count doubles.
+func TestSMPScaleLinearity(t *testing.T) {
+	env := DefaultEnv()
+	one, err := udpkvSMPRate(env, 1, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := udpkvSMPRate(env, 4, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := four / one; s < 3.9 || s > 4.1 {
+		t.Errorf("udpkv 4-core speedup = %.3fx, want 4.00x (shared-nothing)", s)
+	}
 }

@@ -70,6 +70,13 @@ type Config struct {
 	// an enqueue plus a per-byte copy. Default off — the copying path is
 	// the calibrated baseline the paper's figures measure against.
 	ZeroCopy bool
+	// RxQueue / TxQueue bind this stack instance to one queue pair of a
+	// multi-queue device: Poll drains RxQueue, the output path enqueues
+	// on TxQueue. An SMP guest runs one stack shard per vCPU, each on
+	// its own queue pair (and its own machine), with RSS steering each
+	// flow's packets to a fixed shard. Zero values poll queue 0 — the
+	// single-core layout, unchanged.
+	RxQueue, TxQueue int
 }
 
 // Stats counts stack activity.
@@ -171,7 +178,7 @@ func (s *Stack) Poll() int {
 	total := 0
 	if s.zc != nil {
 		for {
-			n, more, err := s.zc.RxBurstZC(0, s.rxzc)
+			n, more, err := s.zc.RxBurstZC(s.cfg.RxQueue, s.rxzc)
 			if err != nil || n == 0 {
 				break
 			}
@@ -187,7 +194,7 @@ func (s *Stack) Poll() int {
 		}
 	} else {
 		for {
-			n, more, err := s.dev.RxBurst(0, s.rxbufs)
+			n, more, err := s.dev.RxBurst(s.cfg.RxQueue, s.rxbufs)
 			if err != nil || n == 0 {
 				break
 			}
@@ -209,7 +216,7 @@ func (s *Stack) Poll() int {
 // skip quiescent stacks.
 func (s *Stack) PendingRx() int {
 	if p, ok := s.dev.(interface{ Pending(int) int }); ok {
-		return p.Pending(0)
+		return p.Pending(s.cfg.RxQueue)
 	}
 	return -1
 }
@@ -263,6 +270,16 @@ func (s *Stack) inputARP(b []byte) {
 			return ARPLen
 		})
 	}
+}
+
+// SeedARP installs a static neighbor entry, like `ip neigh add ...
+// nud permanent`. SMP shard stacks need it: RSS steers ARP (a non-IP
+// ethertype) to queue 0, so shards on queues > 0 would never see a
+// reply to their own requests. Seeding the peer's MAC into every shard
+// models the real SMP design — one ARP cache shared across cores —
+// without adding cross-shard state.
+func (s *Stack) SeedARP(ip IPv4Addr, mac uknetdev.MAC) {
+	s.arpLearn(ip, mac)
 }
 
 func (s *Stack) arpLearn(ip IPv4Addr, mac uknetdev.MAC) {
@@ -338,7 +355,7 @@ func (s *Stack) sendEth(dst uknetdev.MAC, etherType uint16, fill func([]byte) in
 func (s *Stack) transmit(nb *uknetdev.Netbuf) {
 	s.stats.TxFrames++
 	s.txScratch[0] = nb
-	s.dev.TxBurst(0, s.txScratch[:])
+	s.dev.TxBurst(s.cfg.TxQueue, s.txScratch[:])
 	s.txScratch[0] = nil
 	if nb.Pooled() {
 		nb.Release()

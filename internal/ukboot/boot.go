@@ -40,6 +40,19 @@ var libInitCycles = map[string]uint64{
 	"misc":         36_000, // remaining constructors (10us)
 }
 
+// SMP/multi-queue guest-side init costs. Like libInitCycles these are
+// per-unit constructor charges; both are zero-impact at the defaults
+// (1 vCPU, 1 queue), keeping every calibrated figure untouched.
+const (
+	// smpAPInitCycles per application processor: SIPI trampoline,
+	// per-CPU areas, idle thread (25us at 3.6GHz).
+	smpAPInitCycles = 90_000
+	// netQueueInitCycles per extra queue pair on one NIC: vring
+	// allocation + MSI-X vector + ioeventfd wiring (37.5us) — a slice
+	// of the full 300us virtio-net constructor.
+	netQueueInitCycles = 135_000
+)
+
 // LibInitCost exposes the constructor-cost table (read-only use).
 func LibInitCost(lib string) (uint64, bool) {
 	c, ok := libInitCycles[lib]
@@ -81,6 +94,16 @@ type Config struct {
 	Allocator string
 	// NICs counts attached network devices.
 	NICs int
+	// VCPUs is the guest vCPU count; 0 or 1 boots the calibrated
+	// single-core image. Each application processor beyond the first
+	// charges smpAPInitCycles (trampoline + per-CPU areas + idle
+	// thread) in an "smp" boot step right after platform init.
+	VCPUs int
+	// NetQueues is the RX/TX queue-pair count per NIC; 0 or 1 is the
+	// single-queue default. Extra queue pairs add monitor-side
+	// NICQueueSetup (tap fds, vhost workers, ioeventfds) per NIC and
+	// per-queue ring init cycles to each virtio-net constructor.
+	NetQueues int
 	// Mount9pfs adds the virtio-9p mount step (§5.2 boot cost).
 	Mount9pfs bool
 	// Libs lists additional micro-libraries whose constructors run at
@@ -226,13 +249,23 @@ func NewContext(cfg Config) (*Context, error) {
 	if len(cfg.Files) > 0 && cfg.RootFS == RootNone {
 		return nil, fmt.Errorf("ukboot: Files set but no RootFS selected (have %v)", RootFSNames())
 	}
+	if cfg.VCPUs < 0 {
+		return nil, fmt.Errorf("ukboot: VCPUs must be non-negative, got %d", cfg.VCPUs)
+	}
+	if cfg.NetQueues < 0 {
+		return nil, fmt.Errorf("ukboot: NetQueues must be non-negative, got %d", cfg.NetQueues)
+	}
 	c := &Context{cfg: cfg}
 
-	// VMM phase: monitor start plus per-NIC plumbing. Kept as separate
+	// VMM phase: monitor start plus per-NIC plumbing (and, for
+	// multi-queue NICs, per-extra-queue-pair plumbing). Kept as separate
 	// durations so cycle rounding matches the one-off pipeline exactly.
 	c.vmmDurs = append(c.vmmDurs, cfg.Platform.VMMSetup)
 	for i := 0; i < cfg.NICs; i++ {
 		c.vmmDurs = append(c.vmmDurs, cfg.Platform.NICSetup)
+		for q := 1; q < cfg.NetQueues; q++ {
+			c.vmmDurs = append(c.vmmDurs, cfg.Platform.NICQueueSetup)
+		}
 	}
 
 	charge := func(name string) {
@@ -246,6 +279,13 @@ func NewContext(cfg Config) (*Context, error) {
 	charge("plat")
 	if cfg.Platform.GuestExtra > 0 {
 		c.steps = append(c.steps, ctxStep{name: "plat-extra", kind: stepChargeDur, dur: cfg.Platform.GuestExtra})
+	}
+	if cfg.VCPUs > 1 {
+		// AP bringup sits in the sequential platform prefix: application
+		// processors come up one SIPI at a time before paging and the
+		// heap exist, so this step never joins a parallel stage.
+		c.steps = append(c.steps, ctxStep{name: "smp", kind: stepCharge,
+			cycles: uint64(cfg.VCPUs-1) * smpAPInitCycles})
 	}
 	c.steps = append(c.steps, ctxStep{name: "pagetable", kind: stepPageTable})
 
@@ -261,7 +301,15 @@ func NewContext(cfg Config) (*Context, error) {
 		charge("ukbus")
 	}
 	for i := 0; i < cfg.NICs; i++ {
-		charge("virtio-net")
+		// Extra queue pairs extend the driver constructor in place (same
+		// step name, so stage deps and the initialized-lib list are
+		// unchanged); at one queue the charge is bit-identical to the
+		// calibrated single-queue constructor.
+		cyc := libInitCycles["virtio-net"]
+		if cfg.NetQueues > 1 {
+			cyc += uint64(cfg.NetQueues-1) * netQueueInitCycles
+		}
+		c.steps = append(c.steps, ctxStep{name: "virtio-net", kind: stepCharge, cycles: cyc})
 	}
 	if cfg.Mount9pfs {
 		c.steps = append(c.steps, ctxStep{name: "9pfs", kind: stepChargeDur, dur: cfg.Platform.Mount9pfs})

@@ -154,6 +154,12 @@ func (c *Context) Fork(m *sim.Machine, snap *Snapshot) (*VM, error) {
 	m.ChargeDuration(c.cfg.Platform.ForkSetup)
 	for i := 0; i < c.cfg.NICs; i++ {
 		m.ChargeDuration(c.cfg.Platform.ForkNICSetup)
+		// Multi-queue NICs remap one descriptor ring pair per clone per
+		// queue; the template's tap/vhost plumbing is shared, so each
+		// extra queue costs queue wiring, not NIC setup.
+		for q := 1; q < c.cfg.NetQueues; q++ {
+			m.ChargeDuration(c.cfg.Platform.NICQueueSetup)
+		}
 	}
 	vm.Report.VMM = m.CPU.Duration(m.CPU.Cycles() - vmmStart)
 

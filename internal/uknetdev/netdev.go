@@ -12,6 +12,8 @@ package uknetdev
 import (
 	"errors"
 	"fmt"
+
+	"unikraft/internal/sim"
 )
 
 // MAC is an Ethernet hardware address.
@@ -46,6 +48,12 @@ type QueueConfig struct {
 	// IntrHandler, when non-nil, is invoked when the queue transitions
 	// to "work available" while in interrupt mode.
 	IntrHandler func()
+	// Machine, when non-nil, is the vCPU that owns this queue: driver
+	// descriptor work, kicks and IRQs for the queue are charged to it
+	// instead of the device's machine. Single-core guests leave it nil
+	// and every queue charges the device machine, exactly as before
+	// multi-queue support existed.
+	Machine *sim.Machine
 }
 
 // Stats counts device activity.

@@ -31,10 +31,6 @@ type VirtioNet struct {
 	started  bool
 	stats    Stats
 
-	// unkicked counts frames enqueued since the last host notification;
-	// a kick is charged once it reaches the TxKickBatch.
-	unkicked int
-
 	// dmaPool backs host-side frame snapshots for unmanaged TX buffers,
 	// so even the compatibility path allocates nothing per frame once
 	// warmed up.
@@ -43,17 +39,23 @@ type VirtioNet struct {
 
 // vring is one virtqueue: a fixed-capacity ring of waiting packets plus
 // the interrupt line state. Descriptors are netbuf pointers; push/pop
-// never allocate.
+// never allocate. Each ring carries its own clock (the vCPU that polls
+// it) and its own kick-coalescing remainder, so multi-queue devices
+// charge driver work to the core actually doing it.
 type vring struct {
-	buf   []*Netbuf
-	head  int
-	count int
-	intr  func()
-	armed bool
+	buf     []*Netbuf
+	head    int
+	count   int
+	intr    func()
+	armed   bool
+	machine *sim.Machine
+	// unkicked counts frames enqueued on this queue since the last host
+	// notification; a kick is charged once it reaches the TxKickBatch.
+	unkicked int
 }
 
-func newVring(capacity int, intr func()) *vring {
-	return &vring{buf: make([]*Netbuf, capacity), intr: intr}
+func newVring(capacity int, intr func(), m *sim.Machine) *vring {
+	return &vring{buf: make([]*Netbuf, capacity), intr: intr, machine: m}
 }
 
 func (r *vring) push(nb *Netbuf) bool {
@@ -125,7 +127,7 @@ func (d *VirtioNet) RxQueueSetup(q int, cfg QueueConfig) error {
 	if ring == 0 {
 		ring = defaultRing
 	}
-	d.rxq[q] = newVring(ring, cfg.IntrHandler)
+	d.rxq[q] = newVring(ring, cfg.IntrHandler, d.queueMachine(cfg))
 	return nil
 }
 
@@ -138,8 +140,18 @@ func (d *VirtioNet) TxQueueSetup(q int, cfg QueueConfig) error {
 	if ring == 0 {
 		ring = defaultRing
 	}
-	d.txq[q] = newVring(ring, cfg.IntrHandler)
+	d.txq[q] = newVring(ring, cfg.IntrHandler, d.queueMachine(cfg))
 	return nil
+}
+
+// queueMachine resolves the clock a queue charges to: its own vCPU when
+// QueueConfig.Machine is set, the device machine otherwise (the
+// single-core default, bit-identical to the pre-SMP driver).
+func (d *VirtioNet) queueMachine(cfg QueueConfig) *sim.Machine {
+	if cfg.Machine != nil {
+		return cfg.Machine
+	}
+	return d.machine
 }
 
 // Start implements Device.
@@ -173,13 +185,14 @@ func (d *VirtioNet) TxBurst(q int, pkts []*Netbuf) (int, bool, error) {
 	if q < 0 || q >= len(d.txq) {
 		return 0, false, ErrBadQueue
 	}
+	ring := d.txq[q]
 	sent := 0
 	for _, nb := range pkts {
 		if nb.Len > defaultMTU+14 {
 			d.stats.TxDrops++
 			continue
 		}
-		d.machine.Charge(driverTxCycles)
+		ring.machine.Charge(driverTxCycles)
 		if d.peer != nil {
 			if nb.Pooled() {
 				d.stats.ZCPackets++
@@ -200,17 +213,18 @@ func (d *VirtioNet) TxBurst(q int, pkts []*Netbuf) (int, bool, error) {
 		if batch := d.tuning.txBatch(); batch == 1 {
 			// Kick per burst: the calibrated default driver behaviour
 			// (one notification covers the whole enqueue).
-			d.machine.Charge(d.backend.KickCycles)
+			ring.machine.Charge(d.backend.KickCycles)
 			d.stats.Kicks++
 		} else {
 			// Coalesced: one kick per full batch of frames, remainder
-			// carried to the next burst (or FlushTx).
-			d.unkicked += sent
+			// carried to the next burst (or FlushTx). The remainder is
+			// per-queue state: each vCPU coalesces its own kicks.
+			ring.unkicked += sent
 			kicked := false
-			for d.unkicked >= batch {
-				d.machine.Charge(d.backend.KickCycles)
+			for ring.unkicked >= batch {
+				ring.machine.Charge(d.backend.KickCycles)
 				d.stats.Kicks++
-				d.unkicked -= batch
+				ring.unkicked -= batch
 				kicked = true
 			}
 			if !kicked {
@@ -221,27 +235,38 @@ func (d *VirtioNet) TxBurst(q int, pkts []*Netbuf) (int, bool, error) {
 	return sent, true, nil
 }
 
-// FlushTx implements ZeroCopyDevice: it charges the kick still owed for
-// frames below a full TxKickBatch (the "delayed notification" that a
-// real driver would fire from a timer). Callers invoke it at quiescence
-// points so coalescing never under-counts VM exits by more than a batch.
+// FlushTx implements ZeroCopyDevice: it charges, per TX queue, the kick
+// still owed for frames below a full TxKickBatch (the "delayed
+// notification" that a real driver would fire from a timer). Callers
+// invoke it at quiescence points so coalescing never under-counts VM
+// exits by more than a batch per queue.
 func (d *VirtioNet) FlushTx() {
-	if d.unkicked > 0 && d.backend.NeedsKick {
-		d.machine.Charge(d.backend.KickCycles)
-		d.stats.Kicks++
-		d.unkicked = 0
+	if !d.backend.NeedsKick {
+		return
+	}
+	for _, ring := range d.txq {
+		if ring != nil && ring.unkicked > 0 {
+			ring.machine.Charge(d.backend.KickCycles)
+			d.stats.Kicks++
+			ring.unkicked = 0
+		}
 	}
 }
 
 // hostDeliver is the host-side path depositing a frame into this
-// device's RX ring (queue 0; RSS is out of scope for a single-core VM).
-// It takes ownership of one reference on nb.
+// device's RX ring. Multi-queue devices steer by RSS hash of the flow
+// 4-tuple (see rss.go); single-queue devices skip the parse entirely,
+// keeping the calibrated single-core path untouched. It takes ownership
+// of one reference on nb.
 func (d *VirtioNet) hostDeliver(nb *Netbuf) {
 	if !d.started || len(d.rxq) == 0 {
 		nb.Release()
 		return
 	}
 	q := d.rxq[0]
+	if len(d.rxq) > 1 {
+		q = d.rxq[rssSteer(nb.Bytes(), len(d.rxq))]
+	}
 	if !q.push(nb) {
 		d.stats.RxDrops++
 		nb.Release()
@@ -252,10 +277,11 @@ func (d *VirtioNet) hostDeliver(nb *Netbuf) {
 		if q.count >= d.tuning.rxBatch() {
 			// One interrupt per transition past the moderation
 			// threshold; the line then stays inactive until re-enabled
-			// (storm avoidance, §3.1).
+			// (storm avoidance, §3.1). The IRQ lands on the queue's own
+			// vCPU — per-queue MSI-X vectors, in virtio terms.
 			q.armed = false
 			d.stats.IRQs++
-			d.machine.Charge(d.backend.IRQCycles)
+			q.machine.Charge(d.backend.IRQCycles)
 			q.intr()
 		} else {
 			d.stats.IRQsElided++
@@ -283,7 +309,7 @@ func (d *VirtioNet) RxBurst(q int, pkts []*Netbuf) (int, bool, error) {
 			src.Release()
 			continue
 		}
-		d.machine.Charge(driverRxCycles)
+		ring.machine.Charge(driverRxCycles)
 		copy(nb.Data[nb.Off:], src.Bytes()) // DMA wrote the app's buffer
 		nb.Len = src.Len
 		src.Release()
@@ -306,7 +332,7 @@ func (d *VirtioNet) RxBurstZC(q int, pkts []*Netbuf) (int, bool, error) {
 	ring := d.rxq[q]
 	n := 0
 	for n < len(pkts) && ring.count > 0 {
-		d.machine.Charge(driverRxCycles)
+		ring.machine.Charge(driverRxCycles)
 		pkts[n] = ring.pop()
 		d.stats.RxPackets++
 		n++
@@ -327,7 +353,7 @@ func (d *VirtioNet) EnableRxInterrupt(q int) error {
 	if ring.count > 0 && ring.intr != nil {
 		ring.armed = false
 		d.stats.IRQs++
-		d.machine.Charge(d.backend.IRQCycles)
+		ring.machine.Charge(d.backend.IRQCycles)
 		ring.intr()
 	}
 	return nil
@@ -394,4 +420,48 @@ func NewTunedPair(ma, mb *sim.Machine, backend Backend, t Tuning) (*VirtioNet, *
 		}
 	}
 	return a, b, nil
+}
+
+// NewMultiQueuePair builds and starts a connected client/server device
+// pair where the server side has one RX/TX queue pair per entry in
+// cores — queue i polled by (and charged to) cores[i] — and the client
+// keeps a single queue on mc. Incoming server traffic spreads over the
+// queues by RSS; this is the SMP benchmark topology (one load
+// generator, an N-core guest).
+func NewMultiQueuePair(mc *sim.Machine, cores []*sim.Machine, backend Backend, t Tuning) (client, server *VirtioNet, err error) {
+	if len(cores) == 0 {
+		return nil, nil, fmt.Errorf("uknetdev: NewMultiQueuePair needs at least one core")
+	}
+	client = NewVirtioNet(mc, MAC{0x02, 0, 0, 0, 0, 0xA}, backend)
+	server = NewVirtioNet(cores[0], MAC{0x02, 0, 0, 0, 0, 0xB}, backend)
+	Connect(client, server)
+	client.SetTuning(t)
+	server.SetTuning(t)
+	if err := client.Configure(1, 1); err != nil {
+		return nil, nil, err
+	}
+	if err := client.RxQueueSetup(0, QueueConfig{Ring: 4096}); err != nil {
+		return nil, nil, err
+	}
+	if err := client.TxQueueSetup(0, QueueConfig{Ring: 4096}); err != nil {
+		return nil, nil, err
+	}
+	if err := client.Start(); err != nil {
+		return nil, nil, err
+	}
+	if err := server.Configure(len(cores), len(cores)); err != nil {
+		return nil, nil, err
+	}
+	for i, m := range cores {
+		if err := server.RxQueueSetup(i, QueueConfig{Ring: 4096, Machine: m}); err != nil {
+			return nil, nil, err
+		}
+		if err := server.TxQueueSetup(i, QueueConfig{Ring: 4096, Machine: m}); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := server.Start(); err != nil {
+		return nil, nil, err
+	}
+	return client, server, nil
 }

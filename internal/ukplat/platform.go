@@ -29,6 +29,12 @@ type Platform struct {
 	// NICSetup is the additional monitor-side cost per attached NIC
 	// (tap/vhost plumbing); Fig 10's "QEMU (1NIC)" bar.
 	NICSetup time.Duration
+	// NICQueueSetup is the additional monitor-side cost per extra NIC
+	// queue pair beyond the first (multi-queue tap fds, one vhost worker
+	// and irqfd/ioeventfd pair per queue). A fraction of NICSetup: the
+	// tap/bridge plumbing exists, each queue only adds descriptor-ring
+	// wiring.
+	NICQueueSetup time.Duration
 	// GuestExtra is additional guest-side boot latency inherent to the
 	// platform (e.g. Firecracker's minimal-but-slower device model:
 	// "boot times are slightly longer but do not exceed 1ms", §5.1).
@@ -74,6 +80,7 @@ var (
 		Name: "kvm", VMM: "qemu",
 		VMMSetup:        38300 * time.Microsecond,
 		NICSetup:        4000 * time.Microsecond,
+		NICQueueSetup:   400 * time.Microsecond,
 		ForkSetup:       4800 * time.Microsecond,
 		ForkNICSetup:    500 * time.Microsecond,
 		Hypercall:       1200 * time.Nanosecond,
@@ -87,6 +94,7 @@ var (
 		Name: "kvm", VMM: "qemu-microvm",
 		VMMSetup:        9000 * time.Microsecond,
 		NICSetup:        2500 * time.Microsecond,
+		NICQueueSetup:   250 * time.Microsecond,
 		ForkSetup:       1400 * time.Microsecond,
 		ForkNICSetup:    300 * time.Microsecond,
 		Hypercall:       1200 * time.Nanosecond,
@@ -101,6 +109,7 @@ var (
 		Name: "kvm", VMM: "firecracker",
 		VMMSetup:        2400 * time.Microsecond,
 		NICSetup:        1200 * time.Microsecond,
+		NICQueueSetup:   120 * time.Microsecond,
 		ForkSetup:       400 * time.Microsecond,
 		ForkNICSetup:    150 * time.Microsecond,
 		GuestExtra:      600 * time.Microsecond,
@@ -115,6 +124,7 @@ var (
 		Name: "solo5", VMM: "solo5-hvt",
 		VMMSetup:        3050 * time.Microsecond,
 		NICSetup:        800 * time.Microsecond,
+		NICQueueSetup:   80 * time.Microsecond,
 		ForkSetup:       520 * time.Microsecond,
 		ForkNICSetup:    120 * time.Microsecond,
 		Hypercall:       1000 * time.Nanosecond,
@@ -130,6 +140,7 @@ var (
 		Name: "xen", VMM: "xl",
 		VMMSetup:        125000 * time.Microsecond,
 		NICSetup:        9000 * time.Microsecond,
+		NICQueueSetup:   900 * time.Microsecond,
 		ForkSetup:       14000 * time.Microsecond,
 		ForkNICSetup:    1100 * time.Microsecond,
 		Hypercall:       900 * time.Nanosecond,

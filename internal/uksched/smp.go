@@ -1,0 +1,185 @@
+package uksched
+
+import (
+	"fmt"
+
+	"unikraft/internal/sim"
+)
+
+// StealCycles is the price of migrating one thread between cores: the
+// remote run-queue lock plus the cacheline/working-set migration the
+// thief eats when it first touches the stolen thread's state. Charged
+// to the stealing core.
+const StealCycles = 900
+
+// SMP multiplexes threads over N virtual CPUs. Each core is a complete
+// single-core Scheduler — its own run queue, sleeper heap and machine
+// (clock) — and idle cores steal runnable threads from busy ones, so
+// skewed workloads (all flows hashing to one queue, one long-running
+// handler) still keep every core busy.
+//
+// Determinism: exactly one thread runs at any moment. Run interleaves
+// cores round-robin, one dispatch per core per round, and steal victims
+// are scanned in a fixed order — so two SMP runs over the same threads
+// produce identical per-core cycle counts and steal counts, and the
+// whole structure is safe under the race detector without locks.
+//
+// A 1-core SMP behaves bit-identically to its underlying Scheduler:
+// the round-robin loop degenerates to the single-core Run loop and no
+// steal is ever possible.
+type SMP struct {
+	cores    []*Scheduler
+	stealing bool
+
+	// Steals counts threads migrated between cores; StolenTo counts
+	// them per receiving core.
+	Steals   uint64
+	StolenTo []uint64
+}
+
+// NewSMP builds an N-core scheduler group, one core per machine, all
+// running the same policy. Work stealing starts enabled.
+func NewSMP(policy Policy, machines []*sim.Machine) *SMP {
+	if len(machines) == 0 {
+		panic("uksched: NewSMP with no machines")
+	}
+	cores := make([]*Scheduler, len(machines))
+	for i, m := range machines {
+		cores[i] = New(policy, m)
+	}
+	return &SMP{cores: cores, stealing: true, StolenTo: make([]uint64, len(machines))}
+}
+
+// Cores reports the core count.
+func (s *SMP) Cores() int { return len(s.cores) }
+
+// Core returns core i's Scheduler (its machine is Core(i).Machine()).
+func (s *SMP) Core(i int) *Scheduler { return s.cores[i] }
+
+// Machine returns core i's clock.
+func (s *SMP) Machine(i int) *sim.Machine { return s.cores[i].machine }
+
+// SetStealing toggles work stealing; disabling it pins every thread to
+// its creation core (the with/without comparison in the smpscale
+// experiment).
+func (s *SMP) SetStealing(on bool) { s.stealing = on }
+
+// NewThread creates a thread pinned initially to core's run queue; work
+// stealing may migrate it later.
+func (s *SMP) NewThread(core int, name string, fn func(*Thread)) *Thread {
+	if core < 0 || core >= len(s.cores) {
+		panic(fmt.Sprintf("uksched: NewThread on core %d of %d", core, len(s.cores)))
+	}
+	return s.cores[core].NewThread(name, fn)
+}
+
+// steal tries to move one runnable thread to idle core i, scanning
+// victims in fixed order starting after i. It takes from the victim's
+// run-queue tail (the coldest entry — FIFO order means the tail ran
+// least recently), re-homes the thread and charges StealCycles to the
+// thief. Returns true if a thread was stolen.
+func (s *SMP) steal(i int) bool {
+	n := len(s.cores)
+	thief := s.cores[i]
+	for off := 1; off < n; off++ {
+		victim := s.cores[(i+off)%n]
+		if len(victim.runq) < 2 {
+			// Leave a lone runnable thread where it is: migrating the
+			// victim's only work just moves the imbalance.
+			continue
+		}
+		t := victim.runq[len(victim.runq)-1]
+		victim.runq = victim.runq[:len(victim.runq)-1]
+		t.sched = thief
+		thief.runq = append(thief.runq, t)
+		thief.machine.Charge(StealCycles)
+		s.Steals++
+		s.StolenTo[i]++
+		return true
+	}
+	return false
+}
+
+// Run executes threads on all cores until the group is quiescent: no
+// core has a runnable or sleeping thread (blocked threads may remain,
+// exactly as in Scheduler.Run). It returns the number of threads still
+// blocked across all cores.
+func (s *SMP) Run() int {
+	for {
+		progress := false
+		for i, c := range s.cores {
+			if c.shutdown {
+				continue
+			}
+			if len(c.runq) == 0 && s.stealing {
+				s.steal(i)
+			}
+			if len(c.runq) == 0 {
+				continue
+			}
+			t := c.pick()
+			c.dispatch(t)
+			c.wakeDueSleepers()
+			progress = true
+		}
+		if progress {
+			continue
+		}
+		// Every run queue is empty and nothing could be stolen. If any
+		// core has sleepers, jump that core's clock to its earliest
+		// deadline (cores advance independently — per-core virtual
+		// time, like per-CPU tick stops) and go around again.
+		jumped := false
+		for _, c := range s.cores {
+			if len(c.runq) > 0 || c.sleepers.Len() == 0 {
+				continue
+			}
+			earliest := c.sleepers.peek().wakeAt
+			if now := c.machine.CPU.Cycles(); earliest > now {
+				c.machine.Charge(earliest - now)
+			}
+			c.wakeDueSleepers()
+			jumped = true
+		}
+		if !jumped {
+			break
+		}
+	}
+	blocked := 0
+	for _, c := range s.cores {
+		for _, t := range c.threads {
+			if t.state == StateBlocked {
+				blocked++
+			}
+		}
+	}
+	return blocked
+}
+
+// Quiescent reports whether Run would return immediately.
+func (s *SMP) Quiescent() bool {
+	for _, c := range s.cores {
+		if !c.Quiescent() {
+			return false
+		}
+	}
+	return true
+}
+
+// LiveThreads counts non-exited threads across all cores.
+func (s *SMP) LiveThreads() int {
+	n := 0
+	for _, c := range s.cores {
+		n += c.LiveThreads()
+	}
+	return n
+}
+
+// Shutdown unwinds every thread on every core. Each thread is killed by
+// the core that created it (its home threads list), regardless of where
+// stealing left it queued.
+func (s *SMP) Shutdown() {
+	for _, c := range s.cores {
+		c.Shutdown()
+	}
+}

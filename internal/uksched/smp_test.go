@@ -1,0 +1,224 @@
+package uksched
+
+import (
+	"testing"
+
+	"unikraft/internal/sim"
+)
+
+func newSMP(n int) (*SMP, []*sim.Machine) {
+	ms := make([]*sim.Machine, n)
+	for i := range ms {
+		ms[i] = sim.NewMachine()
+	}
+	return NewSMP(Cooperative, ms), ms
+}
+
+// A 1-core SMP group must behave exactly like the plain Scheduler: same
+// execution order, same cycle count.
+func TestSMPOneCoreMatchesScheduler(t *testing.T) {
+	work := func(spawn func(name string, fn func(*Thread))) {
+		for i := 0; i < 4; i++ {
+			spawn("w", func(th *Thread) {
+				for r := 0; r < 3; r++ {
+					th.Charge(1000)
+					th.Yield()
+				}
+			})
+		}
+	}
+
+	m1 := sim.NewMachine()
+	plain := New(Cooperative, m1)
+	defer plain.Shutdown()
+	work(func(name string, fn func(*Thread)) { plain.NewThread(name, fn) })
+	plain.Run()
+
+	smp, ms := newSMP(1)
+	defer smp.Shutdown()
+	work(func(name string, fn func(*Thread)) { smp.NewThread(0, name, fn) })
+	smp.Run()
+
+	if got, want := ms[0].CPU.Cycles(), m1.CPU.Cycles(); got != want {
+		t.Fatalf("1-core SMP spent %d cycles, plain Scheduler %d", got, want)
+	}
+	if smp.Steals != 0 {
+		t.Fatalf("1-core SMP stole %d threads", smp.Steals)
+	}
+}
+
+// Two identical SMP runs must produce identical per-core cycle counts
+// and steal counters.
+func TestSMPDeterminism(t *testing.T) {
+	run := func() ([]uint64, uint64) {
+		smp, ms := newSMP(4)
+		defer smp.Shutdown()
+		// Skewed load: everything lands on core 0.
+		for i := 0; i < 16; i++ {
+			smp.NewThread(0, "w", func(th *Thread) {
+				for r := 0; r < 4; r++ {
+					th.Charge(5000)
+					th.Yield()
+				}
+			})
+		}
+		smp.Run()
+		cycles := make([]uint64, len(ms))
+		for i, m := range ms {
+			cycles[i] = m.CPU.Cycles()
+		}
+		return cycles, smp.Steals
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if s1 != s2 {
+		t.Fatalf("steal counts differ across identical runs: %d vs %d", s1, s2)
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("core %d cycles differ across identical runs: %d vs %d", i, c1[i], c2[i])
+		}
+	}
+}
+
+// Work stealing must spread a skewed load: threads all created on core
+// 0 end up running on other cores too, and every core's clock advances.
+func TestSMPStealingBalancesSkew(t *testing.T) {
+	smp, ms := newSMP(4)
+	defer smp.Shutdown()
+	ran := make([]int, 4)
+	for i := 0; i < 32; i++ {
+		smp.NewThread(0, "w", func(th *Thread) {
+			for r := 0; r < 8; r++ {
+				th.Charge(10_000)
+				th.Yield()
+			}
+		})
+	}
+	// Record which core each dispatch lands on via the thread's current
+	// scheduler home after Run: instead, count per-core work by clock.
+	if blocked := smp.Run(); blocked != 0 {
+		t.Fatalf("Run left %d blocked threads", blocked)
+	}
+	if smp.Steals == 0 {
+		t.Fatal("no steals on a fully skewed load")
+	}
+	for i, m := range ms {
+		if m.CPU.Cycles() == 0 {
+			t.Fatalf("core %d did no work (cycles=0); steals=%d stolenTo=%v ran=%v",
+				i, smp.Steals, smp.StolenTo, ran)
+		}
+	}
+}
+
+// With stealing disabled, threads stay pinned: only the creation core's
+// clock advances.
+func TestSMPStealingDisabledPins(t *testing.T) {
+	smp, ms := newSMP(4)
+	defer smp.Shutdown()
+	smp.SetStealing(false)
+	for i := 0; i < 8; i++ {
+		smp.NewThread(1, "w", func(th *Thread) { th.Charge(1000) })
+	}
+	smp.Run()
+	if smp.Steals != 0 {
+		t.Fatalf("stealing disabled but Steals = %d", smp.Steals)
+	}
+	for i, m := range ms {
+		if i == 1 {
+			if m.CPU.Cycles() == 0 {
+				t.Fatal("home core did no work")
+			}
+			continue
+		}
+		if m.CPU.Cycles() != 0 {
+			t.Fatalf("core %d advanced %d cycles with stealing off", i, m.CPU.Cycles())
+		}
+	}
+}
+
+// Lone runnable threads are never stolen (migration would just move the
+// imbalance).
+func TestSMPNoStealOfLoneThread(t *testing.T) {
+	smp, _ := newSMP(2)
+	defer smp.Shutdown()
+	smp.NewThread(0, "only", func(th *Thread) {
+		for r := 0; r < 4; r++ {
+			th.Charge(1000)
+			th.Yield()
+		}
+	})
+	smp.Run()
+	if smp.Steals != 0 {
+		t.Fatalf("stole a lone thread: Steals = %d", smp.Steals)
+	}
+}
+
+// Sleepers on different cores advance their own clocks independently.
+func TestSMPPerCoreSleep(t *testing.T) {
+	smp, ms := newSMP(2)
+	defer smp.Shutdown()
+	smp.NewThread(0, "short", func(th *Thread) { th.Sleep(1_000_000) })
+	smp.NewThread(1, "long", func(th *Thread) { th.Sleep(5_000_000) })
+	if blocked := smp.Run(); blocked != 0 {
+		t.Fatalf("Run left %d blocked threads", blocked)
+	}
+	if ms[0].CPU.Cycles() < 1_000_000 {
+		t.Fatalf("core 0 advanced only %d cycles", ms[0].CPU.Cycles())
+	}
+	if ms[1].CPU.Cycles() < 5_000_000 {
+		t.Fatalf("core 1 advanced only %d cycles", ms[1].CPU.Cycles())
+	}
+	if ms[0].CPU.Cycles() >= ms[1].CPU.Cycles() {
+		t.Fatalf("per-core clocks not independent: core0=%d core1=%d",
+			ms[0].CPU.Cycles(), ms[1].CPU.Cycles())
+	}
+}
+
+// Blocked threads are reported across cores and Shutdown unwinds them
+// all, wherever stealing left them.
+func TestSMPShutdownAfterSteals(t *testing.T) {
+	smp, _ := newSMP(3)
+	var wq WaitQueue
+	for i := 0; i < 6; i++ {
+		smp.NewThread(0, "mix", func(th *Thread) {
+			th.Charge(1000)
+			th.Yield()
+			wq.Wait(th)
+		})
+	}
+	if blocked := smp.Run(); blocked != 6 {
+		t.Fatalf("blocked = %d, want 6", blocked)
+	}
+	if smp.LiveThreads() != 6 {
+		t.Fatalf("LiveThreads = %d, want 6", smp.LiveThreads())
+	}
+	smp.Shutdown() // must not hang or panic, even with migrated threads
+	smp.Shutdown() // idempotent
+	if smp.LiveThreads() != 0 {
+		t.Fatalf("LiveThreads after Shutdown = %d", smp.LiveThreads())
+	}
+}
+
+// Steal accounting: the thief pays StealCycles, the victim pays
+// nothing for the migration.
+func TestSMPStealCharge(t *testing.T) {
+	smp, ms := newSMP(2)
+	defer smp.Shutdown()
+	// Three no-op threads on core 0: the first dispatch round runs one
+	// on core 0, leaving two runnable — enough for idle core 1 to steal
+	// (a lone thread is never migrated).
+	smp.NewThread(0, "a", func(th *Thread) {})
+	smp.NewThread(0, "b", func(th *Thread) {})
+	smp.NewThread(0, "c", func(th *Thread) {})
+	smp.Run()
+	if smp.Steals != 1 {
+		t.Fatalf("Steals = %d, want 1", smp.Steals)
+	}
+	if smp.StolenTo[1] != 1 {
+		t.Fatalf("StolenTo = %v, want core 1 to have stolen once", smp.StolenTo)
+	}
+	if ms[1].CPU.Cycles() < StealCycles {
+		t.Fatalf("thief charged %d cycles, want >= StealCycles (%d)", ms[1].CPU.Cycles(), StealCycles)
+	}
+}

@@ -15,8 +15,8 @@ import (
 // autoscaling the warm set — see Runtime.NewPool.
 type Pool = ukpool.Pool
 
-// PoolOption tunes a Pool at construction (WithWarm, WithMaxInstances,
-// WithServiceCost, ...).
+// PoolOption tunes a Pool at construction (WithPoolWarm,
+// WithPoolMaxInstances, WithPoolServiceCost, ...).
 type PoolOption = ukpool.Option
 
 // ServeReport is the outcome of one Pool.Serve run: throughput,
@@ -42,7 +42,7 @@ type Request = ukpool.Request
 //
 //	rt := unikraft.NewRuntime()
 //	pool, err := rt.NewPool(unikraft.NewSpec("nginx", unikraft.WithVMM("firecracker")),
-//	    unikraft.WithWarm(16))
+//	    unikraft.WithPoolWarm(16))
 //	report, err := pool.Serve(unikraft.PoissonWorkload(1, 200_000, 1_000_000, 256))
 //	fmt.Println(report)
 func (rt *Runtime) NewPool(s Spec, opts ...PoolOption) (*Pool, error) {
@@ -120,41 +120,53 @@ func BurstyWorkload(seed uint64, baseRate, burstRate float64, period time.Durati
 // TraceWorkload replays a fixed request slice (sorted by arrival).
 func TraceWorkload(reqs []Request) Workload { return ukpool.NewTrace(reqs) }
 
-// WithWarm sets the pool's warm-instance floor (default 8).
-func WithWarm(n int) PoolOption { return ukpool.WithWarm(n) }
+// Pool option re-exports. The canonical names carry the Pool prefix —
+// they configure a Pool, not a Spec, and the prefix keeps them from
+// colliding with spec options (WithZeroCopy the spec option vs
+// WithPoolZeroCopy the pool option was the first casualty of the
+// unprefixed scheme). The old unprefixed names remain as deprecated
+// aliases.
 
-// WithMaxInstances caps the pool's fleet size (default 1024).
-func WithMaxInstances(n int) PoolOption { return ukpool.WithMaxInstances(n) }
+// WithPoolWarm sets the pool's warm-instance floor (default 8).
+func WithPoolWarm(n int) PoolOption { return ukpool.WithWarm(n) }
 
-// WithColdBurst bounds demand-driven cold boots in flight at once
+// WithPoolMaxInstances caps the pool's fleet size (default 1024).
+func WithPoolMaxInstances(n int) PoolOption { return ukpool.WithMaxInstances(n) }
+
+// WithPoolColdBurst bounds demand-driven cold boots in flight at once
 // (default 32); misses beyond it queue for the autoscaler to fix.
-func WithColdBurst(n int) PoolOption { return ukpool.WithColdBurst(n) }
+func WithPoolColdBurst(n int) PoolOption { return ukpool.WithColdBurst(n) }
 
-// WithServiceCost sets the per-request cost model: shim syscall count
-// and application cycles.
-func WithServiceCost(syscalls int, appCycles uint64) PoolOption {
+// WithPoolServiceCost sets the per-request cost model: shim syscall
+// count and application cycles.
+func WithPoolServiceCost(syscalls int, appCycles uint64) PoolOption {
 	return ukpool.WithServiceCost(syscalls, appCycles)
 }
 
-// WithRecycleEvery resets an instance's heap after n served requests
-// (default 4096; 0 disables).
-func WithRecycleEvery(n int) PoolOption { return ukpool.WithRecycleEvery(n) }
+// WithPoolRecycleEvery resets an instance's heap after n served
+// requests (default 4096; 0 disables).
+func WithPoolRecycleEvery(n int) PoolOption { return ukpool.WithRecycleEvery(n) }
 
-// WithScaleWindow sets the autoscaler tick period (default 50ms of
+// WithPoolScaleWindow sets the autoscaler tick period (default 50ms of
 // virtual time).
-func WithScaleWindow(d time.Duration) PoolOption { return ukpool.WithScaleWindow(d) }
+func WithPoolScaleWindow(d time.Duration) PoolOption { return ukpool.WithScaleWindow(d) }
 
-// WithTargetP99 sets the latency SLO that triggers scale-ups (default
-// 2ms).
-func WithTargetP99(d time.Duration) PoolOption { return ukpool.WithTargetP99(d) }
+// WithPoolTargetP99 sets the latency SLO that triggers scale-ups
+// (default 2ms).
+func WithPoolTargetP99(d time.Duration) PoolOption { return ukpool.WithTargetP99(d) }
 
-// WithHeadroom sets the autoscaler's capacity margin over the
+// WithPoolHeadroom sets the autoscaler's capacity margin over the
 // Little's-law estimate (default 2.0).
-func WithHeadroom(h float64) PoolOption { return ukpool.WithHeadroom(h) }
+func WithPoolHeadroom(h float64) PoolOption { return ukpool.WithHeadroom(h) }
 
-// DisableAutoscale pins the warm set at the floor; cold boots still
+// DisablePoolAutoscale pins the warm set at the floor; cold boots still
 // happen on demand.
-func DisableAutoscale() PoolOption { return ukpool.DisableAutoscale() }
+func DisablePoolAutoscale() PoolOption { return ukpool.DisableAutoscale() }
+
+// DisablePoolPerRequestHeap drops the per-request malloc/free pair from
+// the pool's service-time model (for apps that serve from static
+// buffers).
+func DisablePoolPerRequestHeap() PoolOption { return ukpool.DisablePerRequestHeap() }
 
 // WithPoolZeroCopy drops the per-request payload copy charges from the
 // pool's service-time model (NewPool applies it automatically for specs
@@ -172,12 +184,70 @@ func WithPoolForkBoot(fork func(id int) (*VM, error)) PoolOption {
 	return ukpool.WithForkBoot(fork)
 }
 
-// WithRequestWork attaches per-request instance work to the pool: fn
-// runs inside every request's service window with the serving
+// WithPoolRequestWork attaches per-request instance work to the pool:
+// fn runs inside every request's service window with the serving
 // instance's VM and the request ordinal, and whatever it charges to the
 // VM's machine lands in that request's service time. This is how a
 // file-serving spec drives each instance's VFS (open/sendfile/close)
 // under pool traffic.
-func WithRequestWork(fn func(vm *VM, seq int)) PoolOption {
+func WithPoolRequestWork(fn func(vm *VM, seq int)) PoolOption {
 	return ukpool.WithRequestWork(fn)
+}
+
+// Deprecated aliases for the pre-Pool-prefix option names. They behave
+// identically to their canonical forms and exist only so older call
+// sites keep compiling; new code should use the WithPool* names.
+
+// WithWarm is a deprecated alias.
+//
+// Deprecated: use WithPoolWarm.
+func WithWarm(n int) PoolOption { return WithPoolWarm(n) }
+
+// WithMaxInstances is a deprecated alias.
+//
+// Deprecated: use WithPoolMaxInstances.
+func WithMaxInstances(n int) PoolOption { return WithPoolMaxInstances(n) }
+
+// WithColdBurst is a deprecated alias.
+//
+// Deprecated: use WithPoolColdBurst.
+func WithColdBurst(n int) PoolOption { return WithPoolColdBurst(n) }
+
+// WithServiceCost is a deprecated alias.
+//
+// Deprecated: use WithPoolServiceCost.
+func WithServiceCost(syscalls int, appCycles uint64) PoolOption {
+	return WithPoolServiceCost(syscalls, appCycles)
+}
+
+// WithRecycleEvery is a deprecated alias.
+//
+// Deprecated: use WithPoolRecycleEvery.
+func WithRecycleEvery(n int) PoolOption { return WithPoolRecycleEvery(n) }
+
+// WithScaleWindow is a deprecated alias.
+//
+// Deprecated: use WithPoolScaleWindow.
+func WithScaleWindow(d time.Duration) PoolOption { return WithPoolScaleWindow(d) }
+
+// WithTargetP99 is a deprecated alias.
+//
+// Deprecated: use WithPoolTargetP99.
+func WithTargetP99(d time.Duration) PoolOption { return WithPoolTargetP99(d) }
+
+// WithHeadroom is a deprecated alias.
+//
+// Deprecated: use WithPoolHeadroom.
+func WithHeadroom(h float64) PoolOption { return WithPoolHeadroom(h) }
+
+// DisableAutoscale is a deprecated alias.
+//
+// Deprecated: use DisablePoolAutoscale.
+func DisableAutoscale() PoolOption { return DisablePoolAutoscale() }
+
+// WithRequestWork is a deprecated alias.
+//
+// Deprecated: use WithPoolRequestWork.
+func WithRequestWork(fn func(vm *VM, seq int)) PoolOption {
+	return WithPoolRequestWork(fn)
 }

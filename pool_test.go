@@ -14,7 +14,7 @@ func TestRuntimeNewPoolServes(t *testing.T) {
 	rt := NewRuntime()
 	pool, err := rt.NewPool(
 		NewSpec("helloworld", WithVMM("firecracker"), WithMemory(8<<20)),
-		WithWarm(4), WithMaxInstances(64))
+		WithPoolWarm(4), WithPoolMaxInstances(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestNewPoolValidatesSpec(t *testing.T) {
 func TestPoolConcurrentServe(t *testing.T) {
 	rt := NewRuntime()
 	pool, err := rt.NewPool(NewSpec("helloworld", WithVMM("firecracker"), WithMemory(8<<20)),
-		WithWarm(2))
+		WithPoolWarm(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,9 +89,9 @@ func TestPoolConcurrentServe(t *testing.T) {
 func TestBurstyPoolAutoscales(t *testing.T) {
 	rt := NewRuntime()
 	pool, err := rt.NewPool(NewSpec("helloworld", WithVMM("firecracker"), WithMemory(8<<20)),
-		WithWarm(2), WithMaxInstances(128), WithColdBurst(4),
-		WithServiceCost(4, 170_000), WithScaleWindow(10*time.Millisecond),
-		WithTargetP99(time.Millisecond), WithHeadroom(2))
+		WithPoolWarm(2), WithPoolMaxInstances(128), WithPoolColdBurst(4),
+		WithPoolServiceCost(4, 170_000), WithPoolScaleWindow(10*time.Millisecond),
+		WithPoolTargetP99(time.Millisecond), WithPoolHeadroom(2))
 	if err != nil {
 		t.Fatal(err)
 	}

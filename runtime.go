@@ -222,6 +222,15 @@ func (rt *Runtime) resolve(s Spec) (resolved, error) {
 	default:
 		return r, fmt.Errorf("unikraft: unknown placement %q (have spread, pack)", s.Placement)
 	}
+	if s.VCPUs < 0 || s.VCPUs > MaxVCPUs {
+		return r, fmt.Errorf("unikraft: vCPU count must be 0..%d, got %d (0 means one core)", MaxVCPUs, s.VCPUs)
+	}
+	if s.NetQueues < 0 || s.NetQueues > MaxNetQueues {
+		return r, fmt.Errorf("unikraft: NIC queue count must be 0..%d, got %d (0 means one queue pair)", MaxNetQueues, s.NetQueues)
+	}
+	if len(s.badProfiles) > 0 {
+		return r, fmt.Errorf("unikraft: unknown profile %q (have %v)", s.badProfiles[0], Profiles())
+	}
 	if s.MemBytes < 0 {
 		return r, fmt.Errorf("unikraft: memory must not be negative, got %d (0 means the 64 MiB default)", s.MemBytes)
 	}
@@ -303,6 +312,8 @@ func (rt *Runtime) bootConfig(r resolved, s Spec, imageBytes int) ukboot.Config 
 	cfg.Libs = append(ukboot.ProfileLibs(r.profile.NICs, r.profile.Scheduler), s.ExtraLibs...)
 	cfg.ParallelInit = s.InitStages
 	cfg.SnapshotBoot = s.SnapshotBoot
+	cfg.VCPUs = s.VCPUs
+	cfg.NetQueues = s.NetQueues
 	cfg.RootFS = r.rootFS
 	cfg.Files = s.Files
 	cfg.PageCachePages = s.PageCachePages

@@ -89,6 +89,18 @@ type Spec struct {
 	// the allocator→scheduler→NIC ordering invariants. Off by default.
 	InitStages bool
 
+	// VCPUs is the guest vCPU count (0 or 1 = the calibrated
+	// single-core image). SMP guests boot one netstack/allocator shard
+	// and one scheduler run queue per core; boot charges AP bringup per
+	// extra core. Capped at 32.
+	VCPUs int
+
+	// NetQueues is the RX/TX queue-pair count per NIC (0 or 1 = single
+	// queue). Multi-queue devices steer flows to queues by RSS hash of
+	// the 4-tuple, one queue per polling vCPU; boot charges monitor and
+	// guest per-queue setup. Capped at the virtio-net maximum of 8.
+	NetQueues int
+
 	// Affinity selects the front door's balancing policy when the spec
 	// serves through Runtime.NewCluster: "least-loaded" (default),
 	// "round-robin", or "hash" for consistent-hash session affinity
@@ -105,6 +117,10 @@ type Spec struct {
 	// ExtraLibs lists additional micro-libraries whose constructors run
 	// at boot, beyond the ones the profile implies.
 	ExtraLibs []string
+
+	// badProfiles records unknown names passed to Profile; validation
+	// reports them instead of silently booting an untuned spec.
+	badProfiles []string
 }
 
 // Option mutates a Spec; NewSpec and Spec.With apply options in order,
@@ -125,6 +141,9 @@ func NewSpec(app string, opts ...Option) Spec {
 func (s Spec) With(opts ...Option) Spec {
 	if len(s.ExtraLibs) > 0 {
 		s.ExtraLibs = append([]string(nil), s.ExtraLibs...)
+	}
+	if len(s.badProfiles) > 0 {
+		s.badProfiles = append([]string(nil), s.badProfiles...)
 	}
 	if len(s.Files) > 0 {
 		files := make(map[string][]byte, len(s.Files))
@@ -192,6 +211,12 @@ func (s Spec) String() string {
 	}
 	if s.InitStages {
 		out += " +stages"
+	}
+	if s.VCPUs > 1 {
+		out += fmt.Sprintf(" vcpus=%d", s.VCPUs)
+	}
+	if s.NetQueues > 1 {
+		out += fmt.Sprintf(" queues=%d", s.NetQueues)
 	}
 	if s.Affinity != "" {
 		out += " aff=" + s.Affinity
@@ -327,6 +352,30 @@ func WithSnapshotBoot() Option {
 // allocator→scheduler→NIC ordering constraints.
 func WithInitStages() Option {
 	return func(s *Spec) { s.InitStages = true }
+}
+
+// SMP sizing limits, enforced by Runtime.Validate.
+const (
+	// MaxVCPUs caps WithVCPUs: the largest guest the boot model's AP
+	// bringup calibration covers.
+	MaxVCPUs = 32
+	// MaxNetQueues caps WithNetQueues at the virtio-net device maximum
+	// of 8 RX/TX queue pairs.
+	MaxNetQueues = 8
+)
+
+// WithVCPUs sets the guest vCPU count (n <= 1 keeps the calibrated
+// single-core image). An SMP guest pairs naturally with WithNetQueues(n)
+// so each core polls its own device queue; ProfileSMP sets both.
+func WithVCPUs(n int) Option {
+	return func(s *Spec) { s.VCPUs = n }
+}
+
+// WithNetQueues sets the RX/TX queue-pair count per NIC (n <= 1 keeps
+// the single-queue device). Incoming flows spread across queues by a
+// deterministic RSS hash of the connection 4-tuple.
+func WithNetQueues(n int) Option {
+	return func(s *Spec) { s.NetQueues = n }
 }
 
 // WithAffinity selects the cluster front door's balancing policy
