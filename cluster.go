@@ -6,6 +6,7 @@ import (
 	"unikraft/internal/ukboot"
 	"unikraft/internal/ukbuild"
 	"unikraft/internal/ukcluster"
+	"unikraft/internal/ukfault"
 	"unikraft/internal/ukpool"
 )
 
@@ -30,6 +31,12 @@ type clusterSettings struct {
 	link                            ukcluster.Link
 	noHandoff                       bool
 	poolOpts                        []PoolOption
+
+	faults       *ukfault.Plan
+	retryLimit   int
+	retryBackoff time.Duration
+	retryBudget  int
+	shedWater    float64
 }
 
 // WithHosts sets the total host count, standby included (default 1).
@@ -131,8 +138,21 @@ func (rt *Runtime) NewCluster(s Spec, opts ...ClusterOption) (*Cluster, error) {
 			// SplitMix64's increment constant, squared odd — any fixed
 			// odd multiplier keeps host salts distinct; salt 0 keeps
 			// host 0 identical to a standalone NewPool.
-			return rt.newPoolSalted(s, uint64(host)*0xA24BAED4963EE407, set.poolOpts...)
+			opts := set.poolOpts
+			if set.faults != nil && set.faults.VM.Hazard > 0 {
+				// Host-distinct hazard sub-seed: crash draws stay
+				// independent across hosts but fixed for a plan seed.
+				opts = append(opts[:len(opts):len(opts)],
+					ukpool.WithCrashHazard(set.faults.VM.Hazard,
+						ukfault.Mix(set.faults.Seed, uint64(host))))
+			}
+			return rt.newPoolSalted(s, uint64(host)*0xA24BAED4963EE407, opts...)
 		},
+		Faults:       set.faults,
+		RetryLimit:   set.retryLimit,
+		RetryBackoff: set.retryBackoff,
+		RetryBudget:  set.retryBudget,
+		ShedWater:    set.shedWater,
 	}
 	if s.Placement == "pack" {
 		cfg.HighWater = 32

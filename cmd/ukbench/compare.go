@@ -27,6 +27,7 @@ func throughputColumn(header string) bool {
 		strings.Contains(header, "speedup") ||
 		strings.Contains(header, "warm-hit") ||
 		strings.Contains(header, "cache-hit") ||
+		strings.Contains(header, "goodput") ||
 		header == "served"
 }
 

@@ -71,6 +71,13 @@ func main() {
 		syscalls  = flag.Int("syscalls", 4, "shim syscalls per request")
 		appCycles = flag.Uint64("app-cycles", 12_000, "application cycles per request")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+
+		chaos       = flag.Bool("chaos", false, "inject a fault plan: crash the last initially-active host at -crash-at (clusters), plus the -hazard VM crash rate")
+		crashAt     = flag.Duration("crash-at", 300*time.Millisecond, "chaos: when the host fails (virtual time)")
+		rejoin      = flag.Duration("rejoin", 0, "chaos: how long after the crash the host rejoins (0 = never)")
+		hazard      = flag.Float64("hazard", 0, "per-request VM crash probability (works with or without -chaos)")
+		retries     = flag.Int("retries", 3, "front-door retry limit per lost forward")
+		retryBudget = flag.Int("retry-budget", 0, "total front-door retries per trace (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -117,6 +124,11 @@ func main() {
 	if *noScale {
 		opts = append(opts, unikraft.DisablePoolAutoscale())
 	}
+	if *hazard > 0 && *hosts == 1 {
+		// Cluster runs get the hazard through the fault plan instead,
+		// so each host draws from its own sub-seed.
+		opts = append(opts, unikraft.WithPoolCrashHazard(*hazard, *seed))
+	}
 
 	var w unikraft.Workload
 	switch *trace {
@@ -157,6 +169,29 @@ func main() {
 		}
 		if *noHandoff {
 			copts = append(copts, unikraft.WithoutHandoff())
+		}
+		if *chaos || *hazard > 0 {
+			plan := unikraft.NewFaultPlan(*seed)
+			if *chaos {
+				// Crash the highest-id host that serves from t=0: it is
+				// carrying live traffic at the crash, so detection, lost
+				// forwards, retries and replacement all have work to do.
+				victim := 0
+				if *active > 1 {
+					victim = *active - 1
+				}
+				if *rejoin > 0 {
+					plan.CrashHostRejoin(victim, *crashAt, *rejoin)
+				} else {
+					plan.CrashHost(victim, *crashAt)
+				}
+			}
+			if *hazard > 0 {
+				plan.WithVMHazard(*hazard)
+			}
+			copts = append(copts,
+				unikraft.WithFaultPlan(plan),
+				unikraft.WithRetryPolicy(*retries, 250*time.Microsecond, *retryBudget))
 		}
 		c, err := rt.NewCluster(spec, copts...)
 		if err != nil {
@@ -221,6 +256,10 @@ func reportJSON(spec unikraft.Spec, r *unikraft.ServeReport) map[string]any {
 		"cold_boots":     r.ColdBoots,
 		"fork_boots":     r.ForkBoots,
 		"queued":         r.Queued,
+		"failed":         r.Failed,
+		"retried":        r.Retried,
+		"crashes":        r.Crashes,
+		"breaker_trips":  r.BreakerTrips,
 		"resets":         r.Resets,
 		"retired":        r.Retired,
 		"scale_ups":      r.ScaleUps,
@@ -246,6 +285,7 @@ func clusterJSON(spec unikraft.Spec, r *unikraft.ClusterReport) map[string]any {
 			"latency_p99_ns":  h.LatencyP99.Nanoseconds(),
 			"activated_at_ns": h.ActivatedAt.Nanoseconds(),
 			"drained":         h.Drained,
+			"crashed":         h.Crashed,
 		})
 	}
 	return map[string]any{
@@ -264,6 +304,14 @@ func clusterJSON(spec unikraft.Spec, r *unikraft.ClusterReport) map[string]any {
 		"handoff_bytes":     r.HandoffBytes,
 		"drains":            r.Drains,
 		"requeued":          r.Requeued,
+		"crashes":           r.Crashes,
+		"rejoins":           r.Rejoins,
+		"replacements":      r.Replacements,
+		"probes":            r.Probes,
+		"retried":           r.Retried,
+		"failed":            r.Failed,
+		"shed":              r.Shed,
+		"goodput":           r.Goodput(),
 		"route_p99_ns":      r.Route.Quantile(0.99).Nanoseconds(),
 		"pool":              reportJSON(spec, &r.Pool),
 		"per_host":          perHost,

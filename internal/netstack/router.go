@@ -34,6 +34,16 @@ const (
 	// depth only moves the search by a few cache lines, so one
 	// calibrated constant covers the practical ring sizes.
 	costRoutePolicyHash = 110
+
+	// costRouteProbePerHost is one health probe: craft the probe packet,
+	// send it, and match the reply (or its absence) against the liveness
+	// table — charged per probed host per probe round.
+	costRouteProbePerHost = 120
+
+	// costRouteReject is the load-shedding fast path: parse the headers
+	// and answer with a reject (RST/503) without touching the connection
+	// table or running a balancing policy.
+	costRouteReject = 90
 )
 
 // RouterModel prices the front door's per-request work. The zero value
@@ -65,6 +75,28 @@ func (r RouterModel) ChargeRoute(m *sim.Machine, activeHosts int, policyScan, po
 	default:
 		cycles += costRoutePolicyRR
 	}
+	m.Charge(cycles)
+	return cycles
+}
+
+// ChargeProbe charges m for one health-probe round over hosts targets.
+// Probing is real front-door work: while the router pings the fleet it
+// is not forwarding requests, so fault detection has a price the
+// request pipeline feels.
+func (r RouterModel) ChargeProbe(m *sim.Machine, hosts int) uint64 {
+	if hosts < 1 {
+		hosts = 1
+	}
+	cycles := uint64(hosts) * costRouteProbePerHost
+	m.Charge(cycles)
+	return cycles
+}
+
+// ChargeReject charges m for shedding one request at the front door:
+// header parse plus the reject reply, cheaper than routing because no
+// policy runs and no connection-table entry is made.
+func (r RouterModel) ChargeReject(m *sim.Machine) uint64 {
+	cycles := uint64(costEthRx+costIPRx+costTCPSeg+costEthTx+costIPTx) + costRouteReject
 	m.Charge(cycles)
 	return cycles
 }

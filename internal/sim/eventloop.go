@@ -84,6 +84,17 @@ func (l *EventLoop) ScheduleAfter(d time.Duration, h Handler) {
 	l.ScheduleAt(l.now+d, h)
 }
 
+// Peek reports the timestamp of the earliest pending event without
+// dispatching it. The fault engine uses it to run a loop only up to a
+// fail-stop cutoff: step while Peek ≤ T, then account everything still
+// pending as lost.
+func (l *EventLoop) Peek() (time.Duration, bool) {
+	if len(l.heap) == 0 {
+		return 0, false
+	}
+	return l.heap[0].at, true
+}
+
 // Step dispatches the earliest pending event, advancing Now to its
 // timestamp. It reports whether an event was dispatched.
 func (l *EventLoop) Step() bool {

@@ -31,6 +31,7 @@ import (
 
 	"unikraft/internal/netstack"
 	"unikraft/internal/sim"
+	"unikraft/internal/ukfault"
 	"unikraft/internal/ukpool"
 )
 
@@ -182,6 +183,42 @@ type Config struct {
 	// NewMachine builds the front door's own machine (default
 	// sim.NewMachine).
 	NewMachine func() *sim.Machine
+
+	// Faults, when non-nil and carrying cluster-level faults (host
+	// crashes or link faults), arms the failure-detection and retry
+	// machinery below. A nil or empty plan leaves the serve byte-
+	// identical to a cluster built without one.
+	Faults *ukfault.Plan
+	// ProbeEvery is the health-probe round period (default 5ms);
+	// ProbeMisses how many unanswered rounds declare a host dead
+	// (default 2); ProbeTimeout the per-probe reply deadline (default
+	// 4x Link.RTT). Together they set the failure-detection latency:
+	// a crash at T is detected at the ProbeMisses-th missed round's
+	// timeout — see detectTime.
+	ProbeEvery   time.Duration
+	ProbeMisses  int
+	ProbeTimeout time.Duration
+	// ReplyTimeout is how long the router waits for a forwarded
+	// request's reply before declaring the forward lost (default 1ms).
+	// Crash detection can beat it: whichever signal lands first
+	// triggers the retry.
+	ReplyTimeout time.Duration
+	// RetryLimit bounds per-request retries of lost forwards (default
+	// 3); RetryBackoff is the base of the exponential backoff between
+	// attempts (default 250µs); RetryBudget caps retries per trace
+	// (default 0: unbounded) so a partition cannot turn the front door
+	// into a retry storm.
+	RetryLimit   int
+	RetryBackoff time.Duration
+	RetryBudget  int
+	// ShedWater is the admission-control threshold, in units of
+	// EstService of backlog per core (default 4x HighWater, evaluated
+	// only when a fault plan is armed). Shedding is a last resort:
+	// it triggers only when no activatable standby remains — the
+	// fleet maxed out or the spares crashed — and the surviving
+	// hosts' backlog still exceeds the threshold; arrivals then get a
+	// cheap reject instead of queueing without bound.
+	ShedWater float64
 }
 
 // host is one simulated box in the fleet.
@@ -201,6 +238,12 @@ type host struct {
 	// assigned is this host's sub-trace for the serve in progress.
 	assigned []ukpool.Request
 	drained  bool
+
+	// crashed marks a host between crash detection and rejoin: out of
+	// the serving set and not activatable. crashedAt is the fail-stop
+	// instant (not the detection).
+	crashed   bool
+	crashedAt time.Duration
 }
 
 // Cluster is a fleet of hosts behind one front door. All methods are
@@ -268,6 +311,30 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.NewMachine == nil {
 		cfg.NewMachine = sim.NewMachine
 	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 5 * time.Millisecond
+	}
+	if cfg.ProbeMisses < 1 {
+		cfg.ProbeMisses = 2
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 4 * cfg.Link.RTT
+	}
+	if cfg.ReplyTimeout <= 0 {
+		cfg.ReplyTimeout = time.Millisecond
+	}
+	if cfg.RetryLimit < 1 {
+		cfg.RetryLimit = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 250 * time.Microsecond
+	}
+	if cfg.ShedWater <= 0 {
+		cfg.ShedWater = 4 * cfg.HighWater
+	}
+	if err := cfg.Faults.Validate(cfg.Hosts); err != nil {
+		return nil, err
+	}
 
 	c := &Cluster{cfg: cfg, hosts: make([]*host, cfg.Hosts)}
 	for i := range c.hosts {
@@ -328,47 +395,70 @@ func (c *Cluster) Serve(w ukpool.Workload) (*Report, error) {
 		return nil, fmt.Errorf("ukcluster: serve on closed cluster")
 	}
 
-	if c.cfg.Hosts == 1 {
+	if c.cfg.Hosts == 1 && !c.cfg.Faults.ClusterFaults() {
 		rep, err := c.hosts[0].pool.ServeParallel(w, c.cfg.Cores)
 		if err != nil {
 			return nil, err
 		}
 		out := &Report{Hosts: 1, Cores: c.cfg.Cores, Policy: c.cfg.Policy,
 			Offered: rep.Requests, ActiveStart: 1, ActivePeak: 1, ActiveEnd: 1, Pool: *rep}
-		out.fillPerHost([]*ukpool.Report{rep}, c.hosts[:1])
+		out.fillPerHost([]*ukpool.Report{rep}, []hostMeta{{id: 0, activatedAt: -1}})
 		return out, nil
 	}
 
-	rep, err := c.route(w)
+	st, err := c.route(w)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.serveHosts(rep); err != nil {
-		return rep, err
+	if err := c.serveHosts(st); err != nil {
+		return st.rep, err
 	}
-	return rep, nil
+	return st.rep, nil
 }
 
 // serveHosts is phase two: every host with work (or warm capacity)
 // serves its sub-trace on its own event-loop shard(s), concurrently,
-// and the reports merge in host order.
-func (c *Cluster) serveHosts(rep *Report) error {
+// and the reports merge in host order. Wrecks — the detached serving
+// state of crashed hosts — serve the same way but with a fail-stop
+// cutoff at their crash instant, and merge in host order right before
+// any post-rejoin incarnation of the same host.
+func (c *Cluster) serveHosts(st *routeState) error {
+	rep := st.rep
 	type slot struct {
-		h   *host
-		rep *ukpool.Report
-		err error
+		h    *host
+		wr   *wreck
+		meta hostMeta
+		rep  *ukpool.Report
+		err  error
+	}
+	sortTrace := func(reqs []ukpool.Request) {
+		// The sub-trace must be non-decreasing in arrival for the
+		// pool; routing emits near-sorted order (size-dependent
+		// serialization and requeues can invert neighbors), so
+		// restore the invariant deterministically.
+		sort.SliceStable(reqs, func(i, j int) bool {
+			return reqs[i].Arrival < reqs[j].Arrival
+		})
+	}
+	wreckOf := map[int]*wreck{}
+	if st.f != nil {
+		for _, wr := range st.f.wrecks {
+			wreckOf[wr.hostID] = wr // at most one: a host crashes once per plan
+		}
 	}
 	var slots []*slot
 	for _, h := range c.hosts {
+		if wr := wreckOf[h.id]; wr != nil {
+			sortTrace(wr.assigned)
+			slots = append(slots, &slot{h: h, wr: wr, meta: hostMeta{
+				id: h.id, activatedAt: wr.activatedAt, crashed: true,
+			}})
+		}
 		if h.pool != nil && (len(h.assigned) > 0 || h.active) {
-			// The sub-trace must be non-decreasing in arrival for the
-			// pool; routing emits near-sorted order (size-dependent
-			// serialization and requeues can invert neighbors), so
-			// restore the invariant deterministically.
-			sort.SliceStable(h.assigned, func(i, j int) bool {
-				return h.assigned[i].Arrival < h.assigned[j].Arrival
-			})
-			slots = append(slots, &slot{h: h})
+			sortTrace(h.assigned)
+			slots = append(slots, &slot{h: h, meta: hostMeta{
+				id: h.id, activatedAt: h.activatedAt, drained: h.drained,
+			}})
 		}
 	}
 	var wg sync.WaitGroup
@@ -376,13 +466,25 @@ func (c *Cluster) serveHosts(rep *Report) error {
 		wg.Add(1)
 		go func(s *slot) {
 			defer wg.Done()
+			if s.wr != nil {
+				if len(s.wr.assigned) == 0 {
+					// Crashed before any request reached it (e.g. mid
+					// handoff): nothing to serve, but the host still
+					// shows up per-host as crashed.
+					s.rep = &ukpool.Report{}
+					return
+				}
+				s.rep, s.err = s.wr.pool.ServeWith(ukpool.NewTrace(s.wr.assigned),
+					ukpool.ServeOpts{Shards: c.cfg.Cores, CrashAt: s.wr.crashedAt})
+				return
+			}
 			s.rep, s.err = s.h.pool.ServeParallel(ukpool.NewTrace(s.h.assigned), c.cfg.Cores)
 		}(s)
 	}
 	wg.Wait()
 
 	reps := make([]*ukpool.Report, 0, len(slots))
-	hosts := make([]*host, 0, len(slots))
+	metas := make([]hostMeta, 0, len(slots))
 	var firstErr error
 	for _, s := range slots {
 		if s.err != nil && firstErr == nil {
@@ -391,11 +493,18 @@ func (c *Cluster) serveHosts(rep *Report) error {
 		if s.rep != nil {
 			rep.Pool.Merge(s.rep)
 			reps = append(reps, s.rep)
-			hosts = append(hosts, s.h)
+			metas = append(metas, s.meta)
 		}
-		s.h.assigned = nil
+		if s.wr != nil {
+			if s.wr.pool != nil {
+				s.wr.pool.Close() // the dead fleet; nothing else owns it now
+			}
+			s.wr.assigned = nil
+		} else {
+			s.h.assigned = nil
+		}
 	}
 	rep.ActiveEnd = c.serving()
-	rep.fillPerHost(reps, hosts)
+	rep.fillPerHost(reps, metas)
 	return firstErr
 }

@@ -39,6 +39,17 @@ type Report struct {
 	// requests those drains bounced back through the front door.
 	Drains, Requeued int
 
+	// Fault-plan counters, all zero without a fault plan. Crashes is
+	// fail-stop host losses the detector confirmed; Rejoins hosts that
+	// came back (as cold standbys); Replacements standby activations
+	// triggered by a detection rather than load; Probes individual
+	// host probes the front door paid for. Retried counts forwards
+	// that timed out and were re-sent; Failed forwards abandoned after
+	// the retry limit or budget; Shed fresh arrivals rejected at the
+	// door by admission control.
+	Crashes, Rejoins, Replacements, Probes int
+	Retried, Failed, Shed                  int
+
 	// Route holds per-request front-door delay (router queueing +
 	// processing + forward link); Activation per-activation bring-up
 	// latency (handoff transfer + attach, or remote cold mint).
@@ -68,34 +79,57 @@ type HostReport struct {
 	// LatencyP50/P99 are the host-local end-to-end quantiles.
 	LatencyP50, LatencyP99 time.Duration
 	// ActivatedAt is when a spill brought the host up (-1: serving
-	// from the start); Drained marks hosts retired mid-serve.
+	// from the start); Drained marks hosts retired mid-serve;
+	// Crashed marks rows that belong to a host lost to a fail-stop
+	// fault (its pre-crash work).
 	ActivatedAt time.Duration
 	Drained     bool
+	Crashed     bool
 }
 
-// Dropped is the number of offered requests that were not served —
-// zero by construction (the cluster queues, never sheds), and reported
-// so gates can assert it rather than trust the comment.
-func (r *Report) Dropped() int { return r.Offered - r.Pool.Requests }
+// Dropped is the number of offered requests the report cannot account
+// for — zero by construction. Every offered request either reached a
+// pool (Pool.Requests, which includes pool-level failures), was shed at
+// the door, or was abandoned by the router's retry policy.
+func (r *Report) Dropped() int { return r.Offered - r.Pool.Requests - r.Shed - r.Failed }
+
+// Goodput is the fraction of offered requests that completed
+// successfully: pool completions over offered load. 1.0 without faults.
+func (r *Report) Goodput() float64 {
+	if r.Offered == 0 {
+		return 1
+	}
+	return float64(r.Pool.Completed()) / float64(r.Offered)
+}
+
+// hostMeta is the per-host identity fillPerHost renders a row from.
+// serveHosts builds one per report slot — a crashed host contributes a
+// wreck row (its pre-crash work) and possibly a live row (post-rejoin).
+type hostMeta struct {
+	id          int
+	activatedAt time.Duration
+	drained     bool
+	crashed     bool
+}
 
 // fillPerHost derives the per-host section from the per-host pool
-// reports (parallel slices, host order) and the cluster makespan.
-func (r *Report) fillPerHost(reps []*ukpool.Report, hosts []*host) {
+// reports (parallel slices, slot order) and the cluster makespan.
+func (r *Report) fillPerHost(reps []*ukpool.Report, metas []hostMeta) {
 	r.PerHost = r.PerHost[:0]
 	for i, hr := range reps {
-		h := hosts[i]
+		m := metas[i]
 		util := 0.0
 		if r.Pool.Duration > 0 && r.Cores > 0 {
 			util = float64(hr.Busy) / (float64(r.Pool.Duration) * float64(r.Cores))
 		}
 		r.PerHost = append(r.PerHost, HostReport{
-			Host: h.id, Requests: hr.Requests,
+			Host: m.id, Requests: hr.Requests,
 			WarmHits: hr.WarmHits, ColdBoots: hr.ColdBoots,
 			ForkBoots: hr.ForkBoots, Queued: hr.Queued,
 			Peak: hr.PeakInstances, Final: hr.FinalInstances,
 			Busy: hr.Busy, Utilization: util,
 			LatencyP50: hr.Latency.Quantile(0.50), LatencyP99: hr.Latency.Quantile(0.99),
-			ActivatedAt: h.activatedAt, Drained: h.drained,
+			ActivatedAt: m.activatedAt, Drained: m.drained, Crashed: m.crashed,
 		})
 	}
 }
@@ -122,6 +156,10 @@ func (r *Report) String() string {
 			fmt.Fprintf(&b, " drains=%d requeued=%d", r.Drains, r.Requeued)
 		}
 		fmt.Fprintf(&b, " dropped=%d\n", r.Dropped())
+		if r.Crashes > 0 || r.Retried > 0 || r.Failed > 0 || r.Shed > 0 {
+			fmt.Fprintf(&b, "faults   crashes=%d rejoins=%d replacements=%d retried=%d failed=%d shed=%d goodput=%.4f\n",
+				r.Crashes, r.Rejoins, r.Replacements, r.Retried, r.Failed, r.Shed, r.Goodput())
+		}
 		fmt.Fprintf(&b, "route    %v\n", &r.Route)
 		if r.Activation.Count > 0 {
 			fmt.Fprintf(&b, "activate %v\n", &r.Activation)
@@ -133,6 +171,8 @@ func (r *Report) String() string {
 			h.Host, h.Requests, 100*h.Utilization, h.WarmHits, h.ColdBoots, h.Queued,
 			h.LatencyP50.Round(time.Microsecond), h.LatencyP99.Round(time.Microsecond))
 		switch {
+		case h.Crashed:
+			b.WriteString(" [crashed]")
 		case h.Drained:
 			b.WriteString(" [drained]")
 		case h.ActivatedAt >= 0:

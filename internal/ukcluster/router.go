@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"unikraft/internal/sim"
+	"unikraft/internal/ukfault"
 	"unikraft/internal/ukpool"
 )
 
@@ -34,6 +35,10 @@ type routeState struct {
 	// recently added capacity retires first and long-lived hosts keep
 	// their caches.
 	activated []int
+
+	// f is the fault engine's per-serve state; nil when no cluster-level
+	// fault plan is armed (the byte-identical fast path).
+	f *faultState
 }
 
 type ringPoint struct {
@@ -55,9 +60,10 @@ func splitmix64(x uint64) uint64 {
 // keeps the client-side arrival in Origin and carries the post-router,
 // post-link timestamp in Arrival, so host pools measure end-to-end
 // latency while scheduling on host-local time.
-func (c *Cluster) route(w ukpool.Workload) (*Report, error) {
+func (c *Cluster) route(w ukpool.Workload) (*routeState, error) {
 	rep := &Report{Hosts: c.cfg.Hosts, Cores: c.cfg.Cores, Policy: c.cfg.Policy}
 	st := &routeState{rep: rep, m: c.cfg.NewMachine(), evalAt: c.cfg.EvalEvery, ringDirty: true}
+	st.f = c.newFaultState()
 
 	for _, h := range c.hosts {
 		h.assigned = nil
@@ -65,6 +71,8 @@ func (c *Cluster) route(w ukpool.Workload) (*Report, error) {
 		h.backlog = 0
 		h.lastUpd = 0
 		h.readyAt = 0
+		h.crashed = false
+		h.crashedAt = 0
 		if h.active {
 			h.activatedAt = -1
 			rep.ActiveStart++
@@ -78,11 +86,18 @@ func (c *Cluster) route(w ukpool.Workload) (*Report, error) {
 			break
 		}
 		rep.Offered++
-		c.autoscale(st, req.Arrival)
+		c.advance(st, req.Arrival)
+		if st.f != nil && st.f.shedding {
+			c.shed(st, req.Arrival)
+			continue
+		}
 		c.routeOne(st, req, req.Arrival)
 	}
+	// Run the control plane past the last arrival: pending retries,
+	// detections and rejoins still land (or requests would vanish).
+	c.drainFaults(st)
 
-	return rep, nil
+	return st, nil
 }
 
 // routeOne prices one routing decision on the router box and forwards
@@ -102,17 +117,67 @@ func (c *Cluster) routeOne(st *routeState, req ukpool.Request, at time.Duration)
 	cycles := c.cfg.Router.ChargeRoute(st.m, c.serving(), scan, hash)
 	st.busyUntil = start + st.m.CPU.Duration(cycles)
 	h := c.pickHost(st, req.Key, st.busyUntil)
+	if h == nil {
+		// Reachable only under faults: every host is crashed or standby
+		// with nothing activatable. Nobody can serve this request.
+		st.rep.Failed++
+		return
+	}
 	c.assign(st, h, req, st.busyUntil)
 }
 
 // assign forwards req to host h at router-dispatch time dispatch:
 // charge the link, stamp Origin/Arrival, and grow the fluid backlog.
+// Under a fault plan the forward can die on the way: into a partition,
+// to a loss draw, or at a host the plan has already fail-stopped (the
+// router won't know until detection) — those forwards never reach a
+// pool and go through the retry machinery instead.
 func (c *Cluster) assign(st *routeState, h *host, req ukpool.Request, dispatch time.Duration) {
-	arrival := dispatch + c.cfg.Link.ForwardDelay(req.Bytes)
 	origin := req.Arrival
 	if req.Origin != 0 {
 		origin = req.Origin
 	}
+	base := dispatch
+	if h.readyAt > base {
+		// Only under faults: every ready host crashed, and the forward
+		// waits for the replacement's handoff to land.
+		base = h.readyAt
+	}
+	fwd := c.cfg.Link.ForwardDelay(req.Bytes)
+	if f := st.f; f != nil {
+		extra, loss, part := f.linkAt(h.id, base)
+		arrival := base + fwd + extra
+		lost, detect := part, time.Duration(0)
+		if !lost && loss > 0 {
+			draw := ukfault.Frac(ukfault.Mix(f.plan.Seed^0x6C696E6B, uint64(h.id), uint64(base)))
+			lost = draw < loss
+		}
+		// Forwards landing in the host's dead window die there. A
+		// rejoined host serves again — only the window between crash
+		// and rejoin swallows traffic.
+		if cr, ok := f.plan.CrashOf(h.id); ok && arrival > cr.At &&
+			(cr.Rejoin == 0 || arrival < cr.At+cr.Rejoin) {
+			lost = true
+			detect = c.detectTime(cr.At)
+		}
+		if lost {
+			failAt := base + c.cfg.ReplyTimeout
+			if detect > 0 && detect < failAt {
+				failAt = detect
+			}
+			c.loseForward(st, req, origin, failAt)
+			return
+		}
+		st.rep.Route.Record(arrival - origin)
+		h.decay(base, c.cfg.Cores)
+		h.backlog += c.cfg.EstService
+		h.assigned = append(h.assigned, ukpool.Request{
+			Arrival: arrival, Bytes: req.Bytes, Key: req.Key, Origin: origin,
+			Attempt: req.Attempt,
+		})
+		return
+	}
+	arrival := dispatch + fwd
 	st.rep.Route.Record(arrival - origin)
 	h.decay(dispatch, c.cfg.Cores)
 	h.backlog += c.cfg.EstService
@@ -153,6 +218,19 @@ func (c *Cluster) serving() int {
 // and initial hosts are ready at t=0.
 func (c *Cluster) pickHost(st *routeState, key uint64, dispatch time.Duration) *host {
 	ready := readyHosts(c.hosts, dispatch)
+	if len(ready) == 0 {
+		// Reachable only under faults: every ready host crashed and the
+		// replacement is still activating. Forward to the soonest-ready
+		// active host — assign holds the forward until its handoff
+		// lands. Nil when nothing is active at all.
+		var best *host
+		for _, h := range c.hosts {
+			if h.active && (best == nil || h.readyAt < best.readyAt) {
+				best = h
+			}
+		}
+		return best
+	}
 	switch c.cfg.Policy {
 	case RoundRobin:
 		h := ready[st.rr%len(ready)]
@@ -236,51 +314,72 @@ func (c *Cluster) ringLookup(st *routeState, key uint64, dispatch time.Duration)
 	return leastLoaded(readyHosts(c.hosts, dispatch), dispatch, c.cfg.Cores)
 }
 
-// autoscale runs every evaluation window that elapsed before time now.
-// Spills and drains both require their condition to hold for a streak
-// of consecutive windows (hysteresis), and act one host at a time.
+// autoscale runs every evaluation window that elapsed before time now —
+// the no-fault path; the fault engine interleaves autoscaleStep with
+// its own events via advance instead.
 func (c *Cluster) autoscale(st *routeState, now time.Duration) {
 	for st.evalAt <= now {
 		t := st.evalAt
 		st.evalAt += c.cfg.EvalEvery
+		c.autoscaleStep(st, t)
+	}
+}
 
-		// Average decayed backlog per core across the serving set —
-		// the router's congestion signal.
-		serving := 0
-		var total time.Duration
-		for _, h := range c.hosts {
-			if !h.active {
-				continue
+// autoscaleStep is one evaluation window at time t. Spills and drains
+// both require their condition to hold for a streak of consecutive
+// windows (hysteresis), and act one host at a time.
+func (c *Cluster) autoscaleStep(st *routeState, t time.Duration) {
+	// Average decayed backlog per core across the serving set —
+	// the router's congestion signal.
+	serving, standby := 0, 0
+	var total time.Duration
+	for _, h := range c.hosts {
+		if !h.active {
+			if !h.crashed {
+				standby++
 			}
-			serving++
-			h.decay(t, c.cfg.Cores)
-			total += h.backlog
-		}
-		if serving == 0 {
 			continue
 		}
-		perCore := float64(total) / float64(serving*c.cfg.Cores)
-		est := float64(c.cfg.EstService)
+		serving++
+		h.decay(t, c.cfg.Cores)
+		total += h.backlog
+	}
+	if serving == 0 {
+		if st.f != nil {
+			st.f.shedding = true // nothing serving: reject at the door
+		}
+		return
+	}
+	perCore := float64(total) / float64(serving*c.cfg.Cores)
+	est := float64(c.cfg.EstService)
 
-		if perCore > c.cfg.HighWater*est && serving < c.cfg.Hosts {
-			st.spillStreak++
-			if st.spillStreak >= c.cfg.SpillAfter {
-				c.activate(st, t)
-				st.spillStreak = 0
-			}
-		} else {
+	if perCore > c.cfg.HighWater*est && serving < c.cfg.Hosts {
+		st.spillStreak++
+		if st.spillStreak >= c.cfg.SpillAfter {
+			c.activate(st, t)
 			st.spillStreak = 0
 		}
+	} else {
+		st.spillStreak = 0
+	}
 
-		if perCore < c.cfg.LowWater*est && serving > c.cfg.MinActive {
-			st.drainCount++
-			if st.drainCount >= c.cfg.DrainAfter {
-				c.drain(st, t)
-				st.drainCount = 0
-			}
-		} else {
+	if perCore < c.cfg.LowWater*est && serving > c.cfg.MinActive {
+		st.drainCount++
+		if st.drainCount >= c.cfg.DrainAfter {
+			c.drain(st, t)
 			st.drainCount = 0
 		}
+	} else {
+		st.drainCount = 0
+	}
+
+	// Admission control, armed only with a fault plan and only once
+	// scale-out is exhausted: with standby capacity left, a deep
+	// backlog is the spill path's problem; with none — the fleet maxed
+	// or the spares crashed — shed new arrivals at the door rather
+	// than queueing them into a latency cliff.
+	if st.f != nil {
+		st.f.shedding = standby == 0 && perCore > c.cfg.ShedWater*est
 	}
 }
 
@@ -293,7 +392,7 @@ func (c *Cluster) autoscale(st *routeState, now time.Duration) {
 func (c *Cluster) activate(st *routeState, t time.Duration) {
 	var h *host
 	for _, cand := range c.hosts {
-		if !cand.active {
+		if !cand.active && !cand.crashed {
 			h = cand
 			break
 		}

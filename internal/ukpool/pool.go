@@ -8,6 +8,7 @@ import (
 
 	"unikraft/internal/sim"
 	"unikraft/internal/ukboot"
+	"unikraft/internal/ukfault"
 )
 
 // BootFunc boots one fresh instance on its own simulated machine. The
@@ -75,6 +76,27 @@ type Config struct {
 	// request, the fileserve experiment's workload — lands in that
 	// request's service time.
 	RequestWork func(vm *ukboot.VM, seq int)
+	// Faults is the pool-level fault model (default none): each request
+	// crashes its serving instance mid-service with probability
+	// Faults.Hazard, drawn deterministically from FaultSeed and the
+	// request's identity. The partial service is charged, the instance
+	// is restarted in its slot through the usual spawn path (a fork
+	// clone when the pool has a template), and the request retries on
+	// another instance up to CrashRetries times before counting Failed.
+	Faults ukfault.VMFaults
+	// FaultSeed domain-separates this pool's crash draws (hosts in a
+	// cluster get distinct seeds derived from the plan seed).
+	FaultSeed uint64
+	// CrashRetries bounds per-request crash retries (default 2).
+	CrashRetries int
+	// BreakerAfter is the circuit breaker: an instance that crashes this
+	// many times without completing a request in between is retired
+	// instead of restarted (default 3; 0 disables the breaker).
+	BreakerAfter int
+	// SeriesWindow, when > 0, additionally buckets completion latencies
+	// into fixed windows of virtual time (Report.Series) — the timeline
+	// the chaos experiment derives recovery time from.
+	SeriesWindow time.Duration
 	// ForkBoot, when set, replaces every instance instantiation (warm
 	// floor, demand cold boots, autoscaler scale-ups) with a
 	// snapshot-fork clone — the Spec's WithSnapshotBoot plumbed into the
@@ -142,6 +164,29 @@ func WithRequestWork(fn func(vm *ukboot.VM, seq int)) Option {
 	return func(c *Config) { c.RequestWork = fn }
 }
 
+// WithCrashHazard arms the per-request VM crash hazard, seeded for
+// deterministic draws.
+func WithCrashHazard(hazard float64, seed uint64) Option {
+	return func(c *Config) {
+		c.Faults.Hazard = hazard
+		c.FaultSeed = seed
+	}
+}
+
+// WithCrashRetries bounds how many times a crashed request is retried
+// before it counts as Failed.
+func WithCrashRetries(n int) Option { return func(c *Config) { c.CrashRetries = n } }
+
+// WithBreaker sets the circuit-breaker threshold: consecutive crashes
+// before an instance is retired instead of restarted (0 disables).
+func WithBreaker(n int) Option { return func(c *Config) { c.BreakerAfter = n } }
+
+// WithLatencySeries records per-window latency histograms
+// (Report.Series) with the given window of virtual time.
+func WithLatencySeries(d time.Duration) Option {
+	return func(c *Config) { c.SeriesWindow = d }
+}
+
 // WithForkBoot makes the fleet instantiate instances by snapshot-fork
 // instead of the full boot pipeline. The fork func must satisfy the
 // same contract as the pool's BootFunc (own machine per call, unique
@@ -159,6 +204,7 @@ type instance struct {
 	vm      *ukboot.VM
 	bootDur time.Duration
 	served  int // requests since the last heap reset
+	crashes int // consecutive crashes (reset on completion) for the breaker
 	// fleetIdx is the instance's position in Pool.fleet, maintained so
 	// retirement is O(1) instead of a fleet scan.
 	fleetIdx int
@@ -256,6 +302,8 @@ func New(boot BootFunc, opts ...Option) *Pool {
 		Autoscale:          true,
 		PerRequestHeap:     true,
 		KickBatch:          1,
+		CrashRetries:       2,
+		BreakerAfter:       3,
 	}
 	for _, opt := range opts {
 		opt(&cfg)
@@ -315,8 +363,9 @@ func (p *Pool) Close() {
 
 // Report is the outcome of one Serve run.
 type Report struct {
-	// Requests is the number of requests served (all of them: the pool
-	// never drops, it queues).
+	// Requests is the number of requests the pool accepted. Without
+	// faults every one of them completes (the pool never drops, it
+	// queues); with faults Requests = completions + Failed.
 	Requests int
 	// WarmHits counts requests dispatched immediately to an idle warm
 	// instance; ColdBoots counts requests that paid a full boot;
@@ -329,6 +378,16 @@ type Report struct {
 	// Resets counts warm-instance heap recycles; Retired counts
 	// instances the autoscaler shut down.
 	Resets, Retired int
+	// Failed counts requests lost for good: crashed more than
+	// CrashRetries times, or outstanding (in service, queued, waiting
+	// on a boot, or still undelivered) when a fail-stop cutoff killed
+	// the host. Retried counts crash-triggered re-dispatches — a
+	// request that crashes twice and then completes adds 2 to Retried,
+	// 1 to completions, 0 to Failed.
+	Failed, Retried int
+	// Crashes counts mid-request instance crashes; BreakerTrips counts
+	// instances the circuit breaker retired after repeated crashes.
+	Crashes, BreakerTrips int
 	// ScaleUps and ScaleDowns count autoscaler resize decisions.
 	ScaleUps, ScaleDowns int
 	// PeakInstances is the largest fleet observed; FinalInstances the
@@ -353,7 +412,17 @@ type Report struct {
 	ColdBoot Histogram
 	// Latency holds end-to-end request latencies.
 	Latency Histogram
+	// Series, when Config.SeriesWindow > 0, holds one latency histogram
+	// per completion-time window: Series[i] covers completions in
+	// [i*W, (i+1)*W). Shard merges are element-wise (all shards share
+	// the virtual timeline), so the merged series is the cluster-wide
+	// latency timeline the chaos experiment reads recovery time off.
+	Series []Histogram
 }
+
+// Completed is Requests minus Failed — the requests that actually got
+// a response.
+func (r *Report) Completed() int { return r.Requests - r.Failed }
 
 // WarmHitRatio is WarmHits / Requests, the pool's headline number.
 func (r *Report) WarmHitRatio() float64 {
@@ -382,6 +451,10 @@ func (r *Report) Merge(o *Report) {
 	r.Queued += o.Queued
 	r.Resets += o.Resets
 	r.Retired += o.Retired
+	r.Failed += o.Failed
+	r.Retried += o.Retried
+	r.Crashes += o.Crashes
+	r.BreakerTrips += o.BreakerTrips
 	r.ScaleUps += o.ScaleUps
 	r.ScaleDowns += o.ScaleDowns
 	r.PeakInstances += o.PeakInstances
@@ -393,6 +466,12 @@ func (r *Report) Merge(o *Report) {
 	r.Boot.Merge(&o.Boot)
 	r.ColdBoot.Merge(&o.ColdBoot)
 	r.Latency.Merge(&o.Latency)
+	for len(r.Series) < len(o.Series) {
+		r.Series = append(r.Series, Histogram{})
+	}
+	for i := range o.Series {
+		r.Series[i].Merge(&o.Series[i])
+	}
 }
 
 // String renders the multi-line summary ukserve prints.
@@ -414,6 +493,10 @@ func (r *Report) String() string {
 	if r.ColdBoot.Count > 0 {
 		out += fmt.Sprintf("coldboot %v\n", &r.ColdBoot)
 	}
+	if r.Crashes > 0 || r.Failed > 0 || r.Retried > 0 {
+		out += fmt.Sprintf("faults   crashes=%d retried=%d failed=%d breaker-trips=%d\n",
+			r.Crashes, r.Retried, r.Failed, r.BreakerTrips)
+	}
 	return out + fmt.Sprintf("latency  %v", &r.Latency)
 }
 
@@ -428,10 +511,11 @@ type serveState struct {
 	rep   *Report
 	err   error
 
-	busy    int
-	booting int // cold + scale-up boots in flight
-	queue   deque[Request]
-	lastEnd time.Duration
+	busy     int
+	booting  int // cold + scale-up boots in flight
+	bootWait int // subset of booting with a request waiting on the boot
+	queue    deque[Request]
+	lastEnd  time.Duration
 
 	arrEv  arrivalEvent
 	tickEv tickEvent
@@ -482,6 +566,7 @@ const (
 	evComplete  = iota // service finished: record latency, free the instance
 	evBootReady        // cold boot finished: serve the request that triggered it
 	evReady            // instance dispatchable (scale-up boot or recycle done)
+	evCrash            // instance fail-stopped mid-request (fault hazard)
 )
 
 // instEvent is the per-instance timer payload (see instance.ev).
@@ -490,9 +575,9 @@ type instEvent struct {
 	st   *serveState
 	inst *instance
 	kind int
-	req  Request       // evBootReady: the request waiting on this boot
+	req  Request       // evBootReady: the request waiting on this boot; evCrash: the victim
 	lat  time.Duration // evComplete: end-to-end latency
-	svc  time.Duration // evComplete: service time for the EWMA
+	svc  time.Duration // evComplete: service time for the EWMA; evCrash: partial work burned
 }
 
 func (e *instEvent) Fire(now time.Duration) {
@@ -506,6 +591,13 @@ func (e *instEvent) Fire(now time.Duration) {
 		st.rep.Latency.Record(e.lat)
 		st.rep.Busy += e.svc
 		st.winLat.Record(e.lat)
+		if w := p.cfg.SeriesWindow; w > 0 {
+			idx := int(now / w)
+			for len(st.rep.Series) <= idx {
+				st.rep.Series = append(st.rep.Series, Histogram{})
+			}
+			st.rep.Series[idx].Record(e.lat)
+		}
 		// EWMA of service time feeds the autoscaler's Little's-law
 		// estimate (alpha = 1/8).
 		if st.ewmaService == 0 {
@@ -516,10 +608,29 @@ func (e *instEvent) Fire(now time.Duration) {
 		p.finishInstance(st, e.inst, now)
 	case evBootReady:
 		st.booting--
+		st.bootWait--
 		p.startService(st, e.inst, e.req, now)
 	case evReady:
 		st.booting--
 		p.dispatch(st, e.inst, now)
+	case evCrash:
+		st.busy--
+		if now > st.lastEnd {
+			st.lastEnd = now
+		}
+		// Copy the victim out first: e aliases inst.ev, which
+		// crashInstance reuses for the restarted instance's ready event.
+		req := e.req
+		st.rep.Crashes++
+		st.rep.Busy += e.svc // the partial work burned before the crash
+		p.crashInstance(st, e.inst, now)
+		if req.Attempt >= p.cfg.CrashRetries {
+			st.rep.Failed++
+		} else {
+			req.Attempt++
+			st.rep.Retried++
+			p.redispatch(st, req, now)
+		}
 	}
 }
 
@@ -556,10 +667,35 @@ func (p *Pool) Prewarm(n int) error {
 func (p *Pool) Serve(w Workload) (*Report, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.serveLocked(w)
+	return p.serveLocked(w, 0)
 }
 
-func (p *Pool) serveLocked(w Workload) (*Report, error) {
+// ServeOpts parameterizes ServeWith beyond the plain Serve contract.
+type ServeOpts struct {
+	// Shards > 1 runs the sharded parallel engine (see ServeParallel).
+	Shards int
+	// CrashAt, when > 0, fail-stops the host at that virtual time:
+	// events through CrashAt dispatch normally, then everything still
+	// outstanding — in service, queued, waiting on a boot, or not yet
+	// delivered — counts Failed. The cluster serves a crashed host's
+	// pre-crash sub-trace this way.
+	CrashAt time.Duration
+}
+
+// ServeWith is Serve with options: the cluster's entry point for
+// serving a host that fail-stops mid-trace, sharded or not.
+func (p *Pool) ServeWith(w Workload, o ServeOpts) (*Report, error) {
+	if o.Shards > 1 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.serveParallelLocked(w, o.Shards, o.CrashAt)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.serveLocked(w, o.CrashAt)
+}
+
+func (p *Pool) serveLocked(w Workload, crashAt time.Duration) (*Report, error) {
 	if p.closed {
 		return nil, fmt.Errorf("ukpool: serve on closed pool")
 	}
@@ -587,7 +723,25 @@ func (p *Pool) serveLocked(w Workload) (*Report, error) {
 	if p.cfg.Autoscale {
 		st.loop.ScheduleAfter(p.cfg.ScaleWindow, &st.tickEv)
 	}
-	st.loop.Run()
+	if crashAt > 0 {
+		for {
+			t, ok := st.loop.Peek()
+			if !ok || t > crashAt {
+				break
+			}
+			st.loop.Step()
+		}
+		p.failStop(st)
+	} else {
+		st.loop.Run()
+	}
+	// Requests still queued when the loop drained can only happen under
+	// faults (the breaker emptied the fleet with the autoscaler off);
+	// account them as lost rather than dropping them silently.
+	for st.queue.len() > 0 {
+		st.queue.popFront()
+		st.rep.Failed++
+	}
 
 	st.rep.Duration = st.lastEnd
 	st.rep.FinalInstances = len(p.fleet)
@@ -595,6 +749,32 @@ func (p *Pool) serveLocked(w Workload) (*Report, error) {
 		return st.rep, st.err
 	}
 	return st.rep, nil
+}
+
+// failStop accounts a fail-stop crash of the whole host: requests in
+// service, waiting on boots, queued, or consumed from the workload but
+// never delivered are all Failed. Their partially-burned service is
+// not charged — the host that did the work is gone.
+func (p *Pool) failStop(st *serveState) {
+	st.rep.Failed += st.busy + st.bootWait + st.queue.len()
+	st.busy, st.bootWait, st.booting = 0, 0, 0
+	for st.queue.len() > 0 {
+		st.queue.popFront()
+	}
+	if !st.wDone {
+		// The arrival already scheduled but never dispatched, then the
+		// rest of the trace.
+		st.rep.Requests++
+		st.rep.Failed++
+		for {
+			if _, ok := st.w.Next(); !ok {
+				break
+			}
+			st.rep.Requests++
+			st.rep.Failed++
+		}
+		st.wDone = true
+	}
 }
 
 // ServeParallel shards the trace and the fleet across per-shard event
@@ -623,6 +803,13 @@ func (p *Pool) ServeParallel(w Workload, shards int) (*Report, error) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.serveParallelLocked(w, shards, 0)
+}
+
+func (p *Pool) serveParallelLocked(w Workload, shards int, crashAt time.Duration) (*Report, error) {
+	if shards <= 1 {
+		return p.serveLocked(w, crashAt)
+	}
 	if p.closed {
 		return nil, fmt.Errorf("ukpool: serve on closed pool")
 	}
@@ -668,7 +855,10 @@ func (p *Pool) ServeParallel(w Workload, shards int) (*Report, error) {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			reps[s], errs[s] = children[s].Serve(NewTrace(parts[s]))
+			c := children[s]
+			c.mu.Lock()
+			reps[s], errs[s] = c.serveLocked(NewTrace(parts[s]), crashAt)
+			c.mu.Unlock()
 		}(s)
 	}
 	wg.Wait()
@@ -743,6 +933,7 @@ func (p *Pool) arrive(st *serveState, req Request, now time.Duration) {
 			st.rep.PeakInstances = len(p.fleet)
 		}
 		st.booting++
+		st.bootWait++
 		inst.ev = instEvent{p: p, st: st, inst: inst, kind: evBootReady, req: req}
 		st.loop.ScheduleAt(now+inst.bootDur, &inst.ev)
 	default:
@@ -757,6 +948,15 @@ func (p *Pool) arrive(st *serveState, req Request, now time.Duration) {
 func (p *Pool) startService(st *serveState, inst *instance, req Request, now time.Duration) {
 	svc := p.serviceTime(inst, req.Bytes)
 	st.busy++
+	// The fault hazard flips the request's deterministic coin: on a
+	// crash the instance dies a fraction of the way through the service
+	// window and only that partial work happens.
+	if crash, frac := p.cfg.Faults.Draw(p.cfg.FaultSeed, req.Arrival, req.Bytes, req.Key, req.Attempt); crash {
+		partial := time.Duration(float64(svc) * frac)
+		inst.ev = instEvent{p: p, st: st, inst: inst, kind: evCrash, req: req, svc: partial}
+		st.loop.ScheduleAt(now+partial, &inst.ev)
+		return
+	}
 	done := now + svc
 	// Latency runs from the request's origin: its front-door arrival
 	// when the cluster router stamped one, its host arrival otherwise —
@@ -774,12 +974,74 @@ func (p *Pool) startService(st *serveState, inst *instance, req Request, now tim
 	st.loop.ScheduleAt(done, &inst.ev)
 }
 
+// crashInstance replaces (or retires) an instance that fail-stopped
+// mid-request. Below the breaker threshold the slot is restarted
+// through the usual spawn path — a fork clone when the pool has a
+// snapshot template, the "restart is cheaper than tolerating a sick
+// instance" economics the fault model exists to exercise. At the
+// threshold the circuit breaker gives up on the slot: repeated crashes
+// point at the instance's state, and re-forking it forever would burn
+// boot capacity for nothing.
+func (p *Pool) crashInstance(st *serveState, inst *instance, now time.Duration) {
+	inst.crashes++
+	old := inst.vm
+	if p.cfg.BreakerAfter > 0 && inst.crashes >= p.cfg.BreakerAfter {
+		st.rep.BreakerTrips++
+		p.dropSlot(inst)
+		old.Close()
+		return
+	}
+	old.Close()
+	id := p.nextID
+	p.nextID++
+	vm, err := p.spawn(id)
+	if err != nil {
+		st.err = fmt.Errorf("ukpool: restart crashed instance %d: %w", inst.id, err)
+		p.dropSlot(inst)
+		return
+	}
+	inst.id, inst.vm, inst.served = id, vm, 0
+	inst.bootDur = vm.Report.Total()
+	st.rep.Boot.Record(inst.bootDur)
+	st.observeBoot(inst.bootDur)
+	if p.cfg.ForkBoot != nil {
+		st.rep.ForkBoots++
+	}
+	st.booting++
+	inst.ev = instEvent{p: p, st: st, inst: inst, kind: evReady}
+	st.loop.ScheduleAt(now+inst.bootDur, &inst.ev)
+}
+
+// dropSlot removes inst from the fleet without touching its VM (the
+// caller owns closing it — it may already be dead).
+func (p *Pool) dropSlot(inst *instance) {
+	last := len(p.fleet) - 1
+	i := inst.fleetIdx
+	p.fleet[i] = p.fleet[last]
+	p.fleet[i].fleetIdx = i
+	p.fleet[last] = nil
+	p.fleet = p.fleet[:last]
+}
+
+// redispatch re-enters a crashed request: straight onto a warm
+// instance when one is idle, else the queue (its latency keeps running
+// from the original origin, so the crash detour shows up in the tail).
+func (p *Pool) redispatch(st *serveState, req Request, now time.Duration) {
+	if p.idle.len() > 0 {
+		p.startService(st, p.takeIdle(), req, now)
+		return
+	}
+	st.rep.Queued++
+	st.queue.pushBack(req)
+}
+
 // finishInstance recycles the instance if due, then dispatches it. The
 // heap re-init is charged to the instance clock AND delays its next
 // dispatch by the same amount on the shared timeline — a recycling
 // instance is not serving.
 func (p *Pool) finishInstance(st *serveState, inst *instance, now time.Duration) {
 	inst.served++
+	inst.crashes = 0 // a completed request closes the breaker's strike count
 	if p.cfg.RecycleEvery > 0 && inst.served >= p.cfg.RecycleEvery {
 		m := inst.vm.Machine
 		start := m.CPU.Cycles()

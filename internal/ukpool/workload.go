@@ -25,6 +25,11 @@ type Request struct {
 	// routing delay both land in the latency histogram. Zero means
 	// Arrival is the origin (plain single-host serving).
 	Origin time.Duration
+	// Attempt is the request's retry ordinal (0 = first try). The fault
+	// machinery bumps it on every crash-triggered retry, and it feeds
+	// the deterministic VM crash draw so a retried request flips a
+	// fresh coin instead of crashing forever.
+	Attempt int
 }
 
 // Workload is a stream of requests in non-decreasing arrival order.
