@@ -37,6 +37,11 @@ type clusterSettings struct {
 	retryBackoff time.Duration
 	retryBudget  int
 	shedWater    float64
+
+	deadline    time.Duration
+	admitTarget time.Duration
+	retryRatio  float64
+	retryBurst  float64
 }
 
 // WithHosts sets the total host count, standby included (default 1).
@@ -138,21 +143,37 @@ func (rt *Runtime) NewCluster(s Spec, opts ...ClusterOption) (*Cluster, error) {
 			// SplitMix64's increment constant, squared odd — any fixed
 			// odd multiplier keeps host salts distinct; salt 0 keeps
 			// host 0 identical to a standalone NewPool.
-			opts := set.poolOpts
+			opts := set.poolOpts[:len(set.poolOpts):len(set.poolOpts)]
 			if set.faults != nil && set.faults.VM.Hazard > 0 {
 				// Host-distinct hazard sub-seed: crash draws stay
 				// independent across hosts but fixed for a plan seed.
-				opts = append(opts[:len(opts):len(opts)],
+				opts = append(opts,
 					ukpool.WithCrashHazard(set.faults.VM.Hazard,
 						ukfault.Mix(set.faults.Seed, uint64(host))))
 			}
+			if sl, ok := set.faults.SlowOf(host); ok {
+				// The plan's slow-host window runs in the same absolute
+				// virtual time the forwarded arrivals carry, so the pool
+				// stretches exactly the services the router models as
+				// inflated backlog.
+				opts = append(opts, ukpool.WithSlowdown(sl.From, sl.To, sl.Factor))
+			}
 			return rt.newPoolSalted(s, uint64(host)*0xA24BAED4963EE407, opts...)
 		},
-		Faults:       set.faults,
-		RetryLimit:   set.retryLimit,
-		RetryBackoff: set.retryBackoff,
-		RetryBudget:  set.retryBudget,
-		ShedWater:    set.shedWater,
+		Faults:             set.faults,
+		RetryLimit:         set.retryLimit,
+		RetryBackoff:       set.retryBackoff,
+		RetryBudget:        set.retryBudget,
+		ShedWater:          set.shedWater,
+		DefaultDeadline:    set.deadline,
+		AdmitTarget:        set.admitTarget,
+		RetryThrottleRatio: set.retryRatio,
+		RetryThrottleBurst: set.retryBurst,
+	}
+	if set.faults != nil {
+		// Domain-separate admission draws per plan; a planless cluster
+		// keeps seed 0 (the draws are keyed on request identity anyway).
+		cfg.AdmitSeed = set.faults.Seed
 	}
 	if s.Placement == "pack" {
 		cfg.HighWater = 32

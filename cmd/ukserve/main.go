@@ -58,7 +58,7 @@ func main() {
 		rate      = flag.Float64("rate", 250_000, "arrival rate, requests/second")
 		bytes     = flag.Int("bytes", 256, "request payload size")
 		seed      = flag.Uint64("seed", 1, "trace seed")
-		trace     = flag.String("trace", "poisson", "trace shape: poisson or bursty")
+		trace     = flag.String("trace", "poisson", "trace shape: poisson, bursty, diurnal or overload")
 		burstRate = flag.Float64("burst-rate", 0, "bursty/diurnal: burst or flash-crowd rate (default 10x -rate)")
 		period    = flag.Duration("period", 200*time.Millisecond, "bursty: on/off period")
 		duty      = flag.Float64("duty", 0.2, "bursty: burst fraction of each period")
@@ -71,6 +71,12 @@ func main() {
 		syscalls  = flag.Int("syscalls", 4, "shim syscalls per request")
 		appCycles = flag.Uint64("app-cycles", 12_000, "application cycles per request")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+
+		deadline      = flag.Duration("deadline", 0, "end-to-end request deadline; expired requests are dropped unserved (0 = none)")
+		priorityMix   = flag.Float64("priority-mix", 1, "overload trace: interactive share of traffic in [0,1]; the rest is batch")
+		admission     = flag.Duration("admission", 0, "front-door adaptive admission: queue-delay target (0 = off; clusters only)")
+		retryThrottle = flag.Float64("retry-throttle", 0, "retry token-bucket refill per successful forward (0 = off; clusters only)")
+		brownout      = flag.Int("brownout", 0, "queue depth that switches pools to degraded half-work responses (0 = off)")
 
 		chaos       = flag.Bool("chaos", false, "inject a fault plan: crash the last initially-active host at -crash-at (clusters), plus the -hazard VM crash rate")
 		crashAt     = flag.Duration("crash-at", 300*time.Millisecond, "chaos: when the host fails (virtual time)")
@@ -124,6 +130,13 @@ func main() {
 	if *noScale {
 		opts = append(opts, unikraft.DisablePoolAutoscale())
 	}
+	if *brownout > 0 {
+		opts = append(opts, unikraft.WithPoolBrownout(*brownout))
+	}
+	if *deadline > 0 && *hosts == 1 {
+		// Cluster runs stamp the deadline at the front door instead.
+		opts = append(opts, unikraft.WithPoolDeadline(*deadline))
+	}
 	if *hazard > 0 && *hosts == 1 {
 		// Cluster runs get the hazard through the fault plan instead,
 		// so each host draws from its own sub-seed.
@@ -151,8 +164,12 @@ func main() {
 		}
 		w = unikraft.DiurnalWorkload(*seed, *rate, pr, *day,
 			*flashAt, *flashDur, fr, *sessions, *requests, *bytes)
+	case "overload":
+		w = unikraft.OverloadWorkload(*seed, *rate, *requests, *bytes,
+			unikraft.WithPriorityMix(*priorityMix),
+			unikraft.WithWorkloadSessions(*sessions))
 	default:
-		fatal(fmt.Errorf("unknown trace %q (have poisson, bursty, diurnal)", *trace))
+		fatal(fmt.Errorf("unknown trace %q (have poisson, bursty, diurnal, overload)", *trace))
 	}
 
 	if *hosts > 1 {
@@ -169,6 +186,15 @@ func main() {
 		}
 		if *noHandoff {
 			copts = append(copts, unikraft.WithoutHandoff())
+		}
+		if *deadline > 0 {
+			copts = append(copts, unikraft.WithDeadline(*deadline))
+		}
+		if *admission > 0 {
+			copts = append(copts, unikraft.WithAdmission(*admission))
+		}
+		if *retryThrottle > 0 {
+			copts = append(copts, unikraft.WithRetryThrottle(*retryThrottle, 0))
 		}
 		if *chaos || *hazard > 0 {
 			plan := unikraft.NewFaultPlan(*seed)
@@ -257,6 +283,8 @@ func reportJSON(spec unikraft.Spec, r *unikraft.ServeReport) map[string]any {
 		"fork_boots":     r.ForkBoots,
 		"queued":         r.Queued,
 		"failed":         r.Failed,
+		"expired":        r.Expired,
+		"browned":        r.Browned,
 		"retried":        r.Retried,
 		"crashes":        r.Crashes,
 		"breaker_trips":  r.BreakerTrips,
@@ -311,6 +339,9 @@ func clusterJSON(spec unikraft.Spec, r *unikraft.ClusterReport) map[string]any {
 		"retried":           r.Retried,
 		"failed":            r.Failed,
 		"shed":              r.Shed,
+		"shed_batch":        r.ShedBatch,
+		"expired":           r.Expired,
+		"throttled":         r.Throttled,
 		"goodput":           r.Goodput(),
 		"route_p99_ns":      r.Route.Quantile(0.99).Nanoseconds(),
 		"pool":              reportJSON(spec, &r.Pool),

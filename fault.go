@@ -60,6 +60,58 @@ func WithShedWater(mult float64) ClusterOption {
 	return func(c *clusterSettings) { c.shedWater = mult }
 }
 
+// WithDeadline gives every request without a deadline of its own an
+// end-to-end allowance of d from its arrival at the front door. The
+// router drops requests whose deadline passes while they queue at the
+// door (a cheap priced 504, counted Expired), and the deadline rides
+// to the serving host, whose pool drops expired queue entries before
+// charging any service time. Under overload this is the difference
+// between a queue that wastes capacity on answers nobody is waiting
+// for and one that spends every cycle on requests that can still
+// succeed.
+func WithDeadline(d time.Duration) ClusterOption {
+	return func(c *clusterSettings) { c.deadline = d }
+}
+
+// WithAdmission arms the front door's adaptive admission controller
+// with a queue-delay target: every evaluation window the router
+// compares its estimated backlog-per-core delay against the target and
+// sheds a proportional fraction of fresh arrivals when the delay
+// exceeds it — delay-based control in the CoDel tradition, replacing
+// the static shed threshold's cliff with a controller that holds the
+// queue near the target at any overload ratio. Shedding is staged by
+// priority class: batch traffic is sacrificed from the target up,
+// interactive traffic only past three times the target.
+func WithAdmission(target time.Duration) ClusterOption {
+	return func(c *clusterSettings) { c.admitTarget = target }
+}
+
+// WithRetryThrottle arms the front door's retry token bucket: each
+// successful forward earns ratio tokens (capped at burst; burst <= 0
+// defaults to 50) and each retry of a lost forward spends one. When
+// losses outpace successes the bucket runs dry and further retries are
+// cut — counted Throttled, the request Failed — so aggregate retry
+// traffic is bounded at ~ratio of successful traffic and a partition
+// cannot ignite a retry storm.
+func WithRetryThrottle(ratio, burst float64) ClusterOption {
+	return func(c *clusterSettings) {
+		c.retryRatio = ratio
+		c.retryBurst = burst
+	}
+}
+
+// WithBrownout makes every host's pool degrade before it drops: when a
+// pool shard's queue is depth deep, requests are served in brownout
+// mode — half the application cycles, no per-request attachment work —
+// trading answer quality for drain rate (counted Browned). Degrade
+// first, drop second is the overload playbook; the deadline and
+// admission layers only see the load brownout could not absorb.
+func WithBrownout(depth int) ClusterOption {
+	return func(c *clusterSettings) {
+		c.poolOpts = append(c.poolOpts, ukpool.WithBrownout(depth))
+	}
+}
+
 // WithPoolCrashHazard gives every request served by the pool an
 // independent probability of crashing its serving instance mid-request
 // (partial service charged, instance restarted by fork, request

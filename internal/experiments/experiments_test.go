@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "txt1",
 		"serve", "zerocopy", "snapboot", "fileserve", "cluster", "smpscale",
-		"chaos",
+		"chaos", "overload",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -571,5 +571,49 @@ func TestSMPScaleLinearity(t *testing.T) {
 	}
 	if s := four / one; s < 3.9 || s > 4.1 {
 		t.Errorf("udpkv 4-core speedup = %.3fx, want 4.00x (shared-nothing)", s)
+	}
+}
+
+// TestOverloadShape runs the full overload-control experiment (two
+// 10M-request open-loop traces at 2.5x capacity plus the satellite
+// rows) and validates the headline claims the gates encode: collapse
+// without control, sustained in-deadline goodput with it.
+func TestOverloadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput run")
+	}
+	res, err := Run(DefaultEnv(), "overload")
+	if err != nil {
+		t.Fatal(err) // the experiment gates its own claims
+	}
+	col := map[string]int{}
+	for i, h := range res.Headers {
+		col[h] = i
+	}
+	rows := map[string][]string{}
+	for _, row := range res.Rows {
+		rows[row[0]] = row
+	}
+	goodput := func(name string) float64 {
+		t.Helper()
+		row := rows[name]
+		if row == nil {
+			t.Fatalf("no %s row: %v", name, res.Rows)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[col["goodput(in-dl)"]], "%"), 64)
+		if err != nil {
+			t.Fatalf("parse goodput %q: %v", row[col["goodput(in-dl)"]], err)
+		}
+		return v
+	}
+	un, ctl := goodput("overload-10M/uncontrolled"), goodput("overload-10M/deadline+admission")
+	if un > 5 {
+		t.Errorf("uncontrolled in-deadline goodput %.3f%%, want collapse (< 5%%)", un)
+	}
+	if ctl < 35 {
+		t.Errorf("controlled in-deadline goodput %.3f%% of offered, want >= 35%% (2.5x overload caps it near 40%%)", ctl)
+	}
+	if p99 := rows["overload-10M/deadline+admission"][col["int-p99"]]; strings.Contains(p99, "s") && !strings.Contains(p99, "ms") && !strings.Contains(p99, "µs") {
+		t.Errorf("controlled p99 %s in whole seconds — latency not bounded", p99)
 	}
 }

@@ -44,6 +44,12 @@ const (
 	// and answer with a reject (RST/503) without touching the connection
 	// table or running a balancing policy.
 	costRouteReject = 90
+
+	// costRouteExpire is the deadline-expiry fast path: parse the
+	// headers, compare the carried deadline against the router clock,
+	// and answer with a timeout status (504) — the reject path plus the
+	// deadline load and compare.
+	costRouteExpire = 95
 )
 
 // RouterModel prices the front door's per-request work. The zero value
@@ -97,6 +103,17 @@ func (r RouterModel) ChargeProbe(m *sim.Machine, hosts int) uint64 {
 // policy runs and no connection-table entry is made.
 func (r RouterModel) ChargeReject(m *sim.Machine) uint64 {
 	cycles := uint64(costEthRx+costIPRx+costTCPSeg+costEthTx+costIPTx) + costRouteReject
+	m.Charge(cycles)
+	return cycles
+}
+
+// ChargeExpire charges m for dropping one request whose deadline
+// already passed at the front door: header parse, deadline compare,
+// timeout reply. Like a reject, no policy runs and no connection-table
+// entry is made — an expired request must cost almost nothing, or
+// expiry itself would congest the router it is protecting.
+func (r RouterModel) ChargeExpire(m *sim.Machine) uint64 {
+	cycles := uint64(costEthRx+costIPRx+costTCPSeg+costEthTx+costIPTx) + costRouteExpire
 	m.Charge(cycles)
 	return cycles
 }

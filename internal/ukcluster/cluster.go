@@ -219,6 +219,58 @@ type Config struct {
 	// hosts' backlog still exceeds the threshold; arrivals then get a
 	// cheap reject instead of queueing without bound.
 	ShedWater float64
+
+	// Overload control (all off by default; a config that leaves every
+	// field below at its zero value serves byte-identically to one that
+	// predates them).
+
+	// AdmitTarget, when > 0, arms the adaptive admission controller:
+	// every autoscaler evaluation window the router compares its
+	// estimated queue delay (fluid backlog per core) against this
+	// target and sheds a proportional fraction of new arrivals when the
+	// delay exceeds it — CoDel's insight (control on queueing *delay*,
+	// not queue length) applied at the front door, replacing the static
+	// ShedWater cliff with a controller that stabilizes the backlog
+	// near the target at any overload ratio. Shedding is staged by
+	// priority class: batch traffic sheds as soon as the delay crosses
+	// AdmitTarget, interactive traffic only past AdmitInteractiveMult
+	// times the target. Drop decisions are identity-keyed deterministic
+	// draws (AdmitSeed), never rate counters, so they are invariant
+	// across shard counts and byte-identical across runs.
+	AdmitTarget time.Duration
+	// AdmitInteractiveMult is the interactive shed threshold as a
+	// multiple of AdmitTarget (default 3).
+	AdmitInteractiveMult float64
+	// AdmitSeed domain-separates the admission drop draws.
+	AdmitSeed uint64
+	// DefaultDeadline, when > 0, stamps arrival + DefaultDeadline on
+	// every request that reaches the front door without a deadline of
+	// its own. The router drops a request whose deadline has passed by
+	// the time it dispatches it (a cheap priced expiry instead of a
+	// forward), and the deadline rides to the host pool, which drops
+	// it from its queue the same way — no service time is ever charged
+	// for an answer nobody is waiting for.
+	DefaultDeadline time.Duration
+	// RetryThrottleRatio, when > 0, arms the retry token bucket: every
+	// successful forward earns the bucket RetryThrottleRatio tokens
+	// (capped at RetryThrottleBurst) and every retry of a lost forward
+	// spends one. When losses outpace successes the bucket empties and
+	// further retries are cut (counted Throttled, the request Failed) —
+	// retries can never exceed ~RetryThrottleRatio of successful
+	// traffic, which bounds the retry-storm positive feedback that
+	// RetryLimit and RetryBackoff alone cannot (they bound each
+	// request, not the aggregate).
+	RetryThrottleRatio float64
+	// RetryThrottleBurst is the bucket capacity and initial fill
+	// (default 50 when the throttle is armed).
+	RetryThrottleBurst float64
+}
+
+// overloadControl reports whether any overload-control feature needs
+// the front door (admission, default deadlines, retry throttling) —
+// the single-host router bypass must not take those away.
+func (c *Config) overloadControl() bool {
+	return c.AdmitTarget > 0 || c.DefaultDeadline > 0 || c.RetryThrottleRatio > 0
 }
 
 // host is one simulated box in the fleet.
@@ -332,6 +384,12 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.ShedWater <= 0 {
 		cfg.ShedWater = 4 * cfg.HighWater
 	}
+	if cfg.AdmitTarget > 0 && cfg.AdmitInteractiveMult <= 0 {
+		cfg.AdmitInteractiveMult = 3
+	}
+	if cfg.RetryThrottleRatio > 0 && cfg.RetryThrottleBurst <= 0 {
+		cfg.RetryThrottleBurst = 50
+	}
 	if err := cfg.Faults.Validate(cfg.Hosts); err != nil {
 		return nil, err
 	}
@@ -395,7 +453,7 @@ func (c *Cluster) Serve(w ukpool.Workload) (*Report, error) {
 		return nil, fmt.Errorf("ukcluster: serve on closed cluster")
 	}
 
-	if c.cfg.Hosts == 1 && !c.cfg.Faults.ClusterFaults() {
+	if c.cfg.Hosts == 1 && !c.cfg.Faults.ClusterFaults() && !c.cfg.overloadControl() {
 		rep, err := c.hosts[0].pool.ServeParallel(w, c.cfg.Cores)
 		if err != nil {
 			return nil, err

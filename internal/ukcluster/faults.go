@@ -43,6 +43,11 @@ type faultState struct {
 	retrySeq uint64
 	used     int // retries consumed from the per-trace budget
 
+	// throttle is the retry token bucket (starts at RetryThrottleBurst;
+	// successful forwards refill it at RetryThrottleRatio per forward,
+	// each retry spends 1). Only consulted when the throttle is armed.
+	throttle float64
+
 	shedding bool // admission control tripped (set per autoscale window)
 
 	wrecks []*wreck
@@ -136,7 +141,7 @@ func (c *Cluster) newFaultState() *faultState {
 	if !p.ClusterFaults() {
 		return nil
 	}
-	f := &faultState{plan: p, probeAt: c.cfg.ProbeEvery}
+	f := &faultState{plan: p, probeAt: c.cfg.ProbeEvery, throttle: c.cfg.RetryThrottleBurst}
 	for _, cr := range p.Crashes {
 		f.crashes = append(f.crashes, crashEvent{
 			host: cr.Host, at: cr.At, detectAt: c.detectTime(cr.At),
@@ -355,11 +360,20 @@ func (f *faultState) linkAt(host int, t time.Duration) (extra time.Duration, los
 	return extra, loss, part
 }
 
+// maxBackoffShift caps the exponential-backoff doubling: beyond it the
+// delay saturates instead of growing. Attempts are normally bounded by
+// RetryLimit (default 3), but the limit is caller-settable — a shift of
+// 64 or more is undefined behavior in hardware terms and in Go produces
+// garbage durations (zero or negative backoff, i.e. a hot retry loop),
+// so the cap keeps a generous-but-sane ceiling (~16s at the default
+// 250µs base) no matter the configuration.
+const maxBackoffShift = 16
+
 // loseForward handles a forward the plan kills: the router learns of
 // the loss at failAt (reply timeout, or crash detection if sooner) and
 // the request re-enters the front door with exponential backoff —
-// unless its retries or the trace's budget are exhausted, in which case
-// it is Failed for good.
+// unless its retries, the trace's budget, or the retry token bucket are
+// exhausted, in which case it is Failed for good.
 func (c *Cluster) loseForward(st *routeState, req ukpool.Request, origin, failAt time.Duration) {
 	f := st.f
 	if req.Attempt >= c.cfg.RetryLimit ||
@@ -367,25 +381,42 @@ func (c *Cluster) loseForward(st *routeState, req ukpool.Request, origin, failAt
 		st.rep.Failed++
 		return
 	}
+	if c.cfg.RetryThrottleRatio > 0 {
+		if f.throttle < 1 {
+			// The bucket is dry: losses are outpacing successes badly
+			// enough that retrying would only feed the storm. Fail fast
+			// and count the cut so reports show the throttle working.
+			st.rep.Failed++
+			st.rep.Throttled++
+			return
+		}
+		f.throttle--
+	}
 	f.used++
 	st.rep.Retried++
-	backoff := c.cfg.RetryBackoff << uint(req.Attempt)
+	shift := uint(req.Attempt)
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	backoff := c.cfg.RetryBackoff << shift
 	f.retrySeq++
 	f.retries.push(retryEntry{
 		at:  failAt + backoff,
 		seq: f.retrySeq,
 		req: ukpool.Request{
 			Bytes: req.Bytes, Key: req.Key,
-			Origin:  origin,
-			Attempt: req.Attempt + 1,
+			Origin:   origin,
+			Attempt:  req.Attempt + 1,
+			Deadline: req.Deadline, Class: req.Class,
 		},
 	})
 }
 
 // shed rejects one arrival at the front door under admission control:
 // priced (cheaply) on the router, counted separately from failures —
-// a shed client got a fast no, not silence.
-func (c *Cluster) shed(st *routeState, at time.Duration) {
+// a shed client got a fast no, not silence. The class splits the count
+// so reports can show staged shedding sacrificing batch first.
+func (c *Cluster) shed(st *routeState, at time.Duration, class int) {
 	start := at
 	if st.busyUntil > start {
 		start = st.busyUntil
@@ -393,6 +424,9 @@ func (c *Cluster) shed(st *routeState, at time.Duration) {
 	cycles := c.cfg.Router.ChargeReject(st.m)
 	st.busyUntil = start + st.m.CPU.Duration(cycles)
 	st.rep.Shed++
+	if class >= ukpool.ClassBatch {
+		st.rep.ShedBatch++
+	}
 }
 
 // sortStableBy is a tiny insertion sort: fault schedules are a handful

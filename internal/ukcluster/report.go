@@ -50,6 +50,17 @@ type Report struct {
 	Crashes, Rejoins, Replacements, Probes int
 	Retried, Failed, Shed                  int
 
+	// Overload-control counters, all zero unless the corresponding
+	// feature is armed. Expired counts requests the *router* dropped
+	// because their deadline had already passed when it would have
+	// dispatched them (host pools count their own queue expiries in
+	// Pool.Expired); Throttled counts retries the token bucket cut
+	// (those requests are also counted Failed); ShedBatch is the share
+	// of Shed that was batch-class traffic — under staged admission
+	// control Shed-ShedBatch is the interactive casualty count, which
+	// priority staging exists to keep near zero.
+	Expired, Throttled, ShedBatch int
+
 	// Route holds per-request front-door delay (router queueing +
 	// processing + forward link); Activation per-activation bring-up
 	// latency (handoff transfer + attach, or remote cold mint).
@@ -89,9 +100,12 @@ type HostReport struct {
 
 // Dropped is the number of offered requests the report cannot account
 // for — zero by construction. Every offered request either reached a
-// pool (Pool.Requests, which includes pool-level failures), was shed at
-// the door, or was abandoned by the router's retry policy.
-func (r *Report) Dropped() int { return r.Offered - r.Pool.Requests - r.Shed - r.Failed }
+// pool (Pool.Requests, which includes pool-level failures and
+// expiries), was shed at the door, expired at the door, or was
+// abandoned by the router's retry policy.
+func (r *Report) Dropped() int {
+	return r.Offered - r.Pool.Requests - r.Shed - r.Failed - r.Expired
+}
 
 // Goodput is the fraction of offered requests that completed
 // successfully: pool completions over offered load. 1.0 without faults.
@@ -164,6 +178,10 @@ func (r *Report) String() string {
 		if r.Activation.Count > 0 {
 			fmt.Fprintf(&b, "activate %v\n", &r.Activation)
 		}
+	}
+	if r.Expired > 0 || r.Throttled > 0 || r.ShedBatch > 0 {
+		fmt.Fprintf(&b, "overload expired=%d throttled=%d shed-batch=%d shed-interactive=%d goodput=%.4f\n",
+			r.Expired, r.Throttled, r.ShedBatch, r.Shed-r.ShedBatch, r.Goodput())
 	}
 	b.WriteString(r.Pool.String())
 	for _, h := range r.PerHost {

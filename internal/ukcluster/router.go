@@ -39,6 +39,57 @@ type routeState struct {
 	// f is the fault engine's per-serve state; nil when no cluster-level
 	// fault plan is armed (the byte-identical fast path).
 	f *faultState
+
+	// adm is the adaptive admission controller; nil when AdmitTarget is
+	// unset (the byte-identical fast path, independently of f).
+	adm *admitState
+}
+
+// admitState is the adaptive admission controller's per-serve state:
+// one drop probability per priority class, recomputed every autoscaler
+// evaluation window from the router's fluid queue-delay estimate. The
+// controller is proportional — shed the fraction of arrivals by which
+// the estimated delay exceeds the class's target — so the backlog
+// settles near the target instead of cliff-diving the way a static
+// threshold does: at any sustained overload ratio rho > 1, dropping
+// (d-T)/d of arrivals is exactly what holds d at rho*T.
+type admitState struct {
+	seed   uint64
+	target float64 // AdmitTarget, in float ns (the perCore unit)
+	mult   float64 // interactive threshold = mult * target
+	pBatch float64 // current batch-class drop probability
+	pInt   float64 // current interactive-class drop probability
+}
+
+// update recomputes the per-class drop probabilities from the current
+// estimated queue delay d (float ns). Batch sheds past the target,
+// interactive only past mult times it — staged sacrifice: by the time
+// interactive traffic is touched, batch is already being cut hard.
+func (a *admitState) update(d float64) {
+	a.pBatch, a.pInt = 0, 0
+	if d > a.target {
+		a.pBatch = (d - a.target) / d
+	}
+	if hi := a.mult * a.target; d > hi {
+		a.pInt = (d - hi) / d
+	}
+}
+
+// drop decides whether to shed req under the current probabilities.
+// The draw is keyed on the request's own identity (never an arrival
+// ordinal or a rate counter), so the same request gets the same verdict
+// regardless of shard count, host count, or what was routed before it.
+func (a *admitState) drop(req ukpool.Request) bool {
+	p := a.pInt
+	if req.Class >= ukpool.ClassBatch {
+		p = a.pBatch
+	}
+	if p <= 0 {
+		return false
+	}
+	draw := ukfault.Frac(ukfault.Mix(a.seed^0x61646D69, // "admi": domain separation
+		uint64(req.Arrival), uint64(req.Bytes), req.Key, uint64(req.Class)))
+	return draw < p
 }
 
 type ringPoint struct {
@@ -64,6 +115,13 @@ func (c *Cluster) route(w ukpool.Workload) (*routeState, error) {
 	rep := &Report{Hosts: c.cfg.Hosts, Cores: c.cfg.Cores, Policy: c.cfg.Policy}
 	st := &routeState{rep: rep, m: c.cfg.NewMachine(), evalAt: c.cfg.EvalEvery, ringDirty: true}
 	st.f = c.newFaultState()
+	if c.cfg.AdmitTarget > 0 {
+		st.adm = &admitState{
+			seed:   c.cfg.AdmitSeed,
+			target: float64(c.cfg.AdmitTarget),
+			mult:   c.cfg.AdmitInteractiveMult,
+		}
+	}
 
 	for _, h := range c.hosts {
 		h.assigned = nil
@@ -86,9 +144,20 @@ func (c *Cluster) route(w ukpool.Workload) (*routeState, error) {
 			break
 		}
 		rep.Offered++
+		if c.cfg.DefaultDeadline > 0 && req.Deadline == 0 {
+			req.Deadline = req.Arrival + c.cfg.DefaultDeadline
+		}
 		c.advance(st, req.Arrival)
 		if st.f != nil && st.f.shedding {
-			c.shed(st, req.Arrival)
+			c.shed(st, req.Arrival, req.Class)
+			continue
+		}
+		// Adaptive admission sheds fresh arrivals only; retries and
+		// drain requeues already consumed router and link work, so
+		// cutting them here would waste what the deadline check bounds
+		// anyway.
+		if st.adm != nil && st.adm.drop(req) {
+			c.shed(st, req.Arrival, req.Class)
 			continue
 		}
 		c.routeOne(st, req, req.Arrival)
@@ -110,6 +179,16 @@ func (c *Cluster) routeOne(st *routeState, req ukpool.Request, at time.Duration)
 	start := at
 	if st.busyUntil > start {
 		start = st.busyUntil
+	}
+	// A request whose deadline already passed while it queued at the
+	// front door (or backed off between retries) gets a cheap priced
+	// expiry instead of a forward: no policy runs, no link is charged,
+	// no host burns service time on an answer nobody is waiting for.
+	if req.Deadline > 0 && start >= req.Deadline {
+		cycles := c.cfg.Router.ChargeExpire(st.m)
+		st.busyUntil = start + st.m.CPU.Duration(cycles)
+		st.rep.Expired++
+		return
 	}
 	scan := c.cfg.Policy == LeastLoaded ||
 		(c.cfg.Policy == ConsistentHash && req.Key == 0)
@@ -170,10 +249,26 @@ func (c *Cluster) assign(st *routeState, h *host, req ukpool.Request, dispatch t
 		}
 		st.rep.Route.Record(arrival - origin)
 		h.decay(base, c.cfg.Cores)
-		h.backlog += c.cfg.EstService
+		est := c.cfg.EstService
+		if fac := f.plan.SlowAt(h.id, base); fac > 1 {
+			// A slowed host works its backlog off slower than the fluid
+			// model's uniform decay assumes; inflating what we add keeps
+			// the model honest, steers least-loaded around the sick host,
+			// and lets the admission controller see the pressure it causes.
+			est = time.Duration(float64(est) * fac)
+		}
+		h.backlog += est
+		if c.cfg.RetryThrottleRatio > 0 {
+			// A forward that made it through earns the retry bucket its
+			// keep (capped): retries stay a bounded fraction of success.
+			f.throttle += c.cfg.RetryThrottleRatio
+			if f.throttle > c.cfg.RetryThrottleBurst {
+				f.throttle = c.cfg.RetryThrottleBurst
+			}
+		}
 		h.assigned = append(h.assigned, ukpool.Request{
 			Arrival: arrival, Bytes: req.Bytes, Key: req.Key, Origin: origin,
-			Attempt: req.Attempt,
+			Attempt: req.Attempt, Deadline: req.Deadline, Class: req.Class,
 		})
 		return
 	}
@@ -183,6 +278,7 @@ func (c *Cluster) assign(st *routeState, h *host, req ukpool.Request, dispatch t
 	h.backlog += c.cfg.EstService
 	h.assigned = append(h.assigned, ukpool.Request{
 		Arrival: arrival, Bytes: req.Bytes, Key: req.Key, Origin: origin,
+		Deadline: req.Deadline, Class: req.Class,
 	})
 }
 
@@ -381,6 +477,15 @@ func (c *Cluster) autoscaleStep(st *routeState, t time.Duration) {
 	if st.f != nil {
 		st.f.shedding = standby == 0 && perCore > c.cfg.ShedWater*est
 	}
+
+	// The adaptive admission controller re-targets on the same signal
+	// (estimated queue delay per core) each window. Unlike the static
+	// shed above it does not wait for scale-out to exhaust: spilling
+	// takes an activation latency, and the controller's job is to keep
+	// the queue bounded *through* that window too.
+	if st.adm != nil {
+		st.adm.update(perCore)
+	}
 }
 
 // activate brings the lowest-id standby host into the serving set,
@@ -492,6 +597,7 @@ func (c *Cluster) drain(st *routeState, t time.Duration) {
 		// still counts from the client arrival.
 		c.routeOne(st, ukpool.Request{
 			Arrival: t, Bytes: r.Bytes, Key: r.Key, Origin: r.Origin,
+			Deadline: r.Deadline, Class: r.Class,
 		}, t)
 		st.rep.Requeued++
 	}

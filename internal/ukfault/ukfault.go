@@ -45,6 +45,21 @@ type LinkFault struct {
 	Partition  bool
 }
 
+// SlowHost degrades one host's service rate by Factor during
+// [From, To) — a noisy neighbor, thermal throttling, a dying disk:
+// the host still answers, just Factor times slower. To <= From means
+// "until the trace ends". The pool stretches every service started in
+// the window by Factor, and the cluster router inflates its fluid
+// estimate of work forwarded there by the same factor, so least-loaded
+// steers around the sick host and the admission controller sees the
+// backlog it causes. A slow host is the overload controller's natural
+// prey: it creates sustained queue-delay pressure without any crash.
+type SlowHost struct {
+	Host     int
+	From, To time.Duration
+	Factor   float64
+}
+
 // VMFaults is the pool-level hazard: each request drawn against the
 // plan seed crashes its serving instance mid-request with probability
 // Hazard. The partial service burned before the crash is charged, the
@@ -61,6 +76,7 @@ type Plan struct {
 	Seed    uint64
 	Crashes []HostCrash
 	Links   []LinkFault
+	Slows   []SlowHost
 	VM      VMFaults
 }
 
@@ -92,6 +108,12 @@ func (p *Plan) PartitionHost(host int, from, to time.Duration) *Plan {
 	return p
 }
 
+// Slow degrades host's service rate by factor during [from, to).
+func (p *Plan) Slow(host int, from, to time.Duration, factor float64) *Plan {
+	p.Slows = append(p.Slows, SlowHost{Host: host, From: from, To: to, Factor: factor})
+	return p
+}
+
 // WithVMHazard sets the per-request instance crash probability.
 func (p *Plan) WithVMHazard(hazard float64) *Plan {
 	p.VM.Hazard = hazard
@@ -101,14 +123,16 @@ func (p *Plan) WithVMHazard(hazard float64) *Plan {
 // Empty reports whether the plan injects nothing — the serving stack
 // treats an empty plan exactly like no plan at all, byte for byte.
 func (p *Plan) Empty() bool {
-	return p == nil || (len(p.Crashes) == 0 && len(p.Links) == 0 && p.VM.Hazard == 0)
+	return p == nil || (len(p.Crashes) == 0 && len(p.Links) == 0 &&
+		len(p.Slows) == 0 && p.VM.Hazard == 0)
 }
 
 // ClusterFaults reports whether the plan carries faults the cluster
-// router must arm its probe/retry machinery for (crashes or link
-// faults — a pure VM hazard is handled inside each host's pool).
+// router must arm its probe/retry machinery for (crashes, link faults
+// or slow hosts — a pure VM hazard is handled inside each host's
+// pool).
 func (p *Plan) ClusterFaults() bool {
-	return p != nil && (len(p.Crashes) > 0 || len(p.Links) > 0)
+	return p != nil && (len(p.Crashes) > 0 || len(p.Links) > 0 || len(p.Slows) > 0)
 }
 
 // Validate rejects plans the engines cannot execute deterministically.
@@ -140,6 +164,22 @@ func (p *Plan) Validate(hosts int) error {
 			return fmt.Errorf("ukfault: link fault %d negative delay", i)
 		}
 	}
+	slowed := make(map[int]bool, len(p.Slows))
+	for _, s := range p.Slows {
+		if s.Host < 0 || s.Host >= hosts {
+			return fmt.Errorf("ukfault: slow host %d out of range [0,%d)", s.Host, hosts)
+		}
+		if slowed[s.Host] {
+			return fmt.Errorf("ukfault: host %d slowed more than once", s.Host)
+		}
+		slowed[s.Host] = true
+		if s.Factor < 1 {
+			return fmt.Errorf("ukfault: slow host %d factor %v below 1", s.Host, s.Factor)
+		}
+		if s.From < 0 {
+			return fmt.Errorf("ukfault: negative slow window on host %d", s.Host)
+		}
+	}
 	if p.VM.Hazard < 0 || p.VM.Hazard > 1 {
 		return fmt.Errorf("ukfault: vm hazard %v outside [0,1]", p.VM.Hazard)
 	}
@@ -158,6 +198,33 @@ func (p *Plan) CrashOf(host int) (HostCrash, bool) {
 		}
 	}
 	return HostCrash{}, false
+}
+
+// SlowOf returns host's scheduled slowdown, if any. Validate guarantees
+// at most one per host.
+func (p *Plan) SlowOf(host int) (SlowHost, bool) {
+	if p == nil {
+		return SlowHost{}, false
+	}
+	for _, s := range p.Slows {
+		if s.Host == host {
+			return s, true
+		}
+	}
+	return SlowHost{}, false
+}
+
+// SlowAt returns host's service-time multiplier at time t (1 when the
+// host is running at full speed).
+func (p *Plan) SlowAt(host int, t time.Duration) float64 {
+	s, ok := p.SlowOf(host)
+	if !ok || t < s.From {
+		return 1
+	}
+	if s.To > s.From && t >= s.To {
+		return 1
+	}
+	return s.Factor
 }
 
 // mix64 is the splitmix64 finalizer — the avalanche step every fault

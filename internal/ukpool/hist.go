@@ -136,6 +136,32 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.MaxV
 }
 
+// FractionBelow reports the fraction of observations at most d (bucket
+// granularity, so within ~12% of exact). The overload experiment scores
+// an uncontrolled run's in-deadline goodput with it: completions are
+// only worth counting if they landed before the answer stopped
+// mattering.
+func (h *Histogram) FractionBelow(d time.Duration) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if d < 0 {
+		return 0
+	}
+	if d >= h.MaxV {
+		return 1
+	}
+	cut := bucketOf(uint64(d))
+	if cut >= histBuckets {
+		cut = histBuckets - 1
+	}
+	var seen uint64
+	for i := 0; i <= cut; i++ {
+		seen += uint64(h.counts[i])
+	}
+	return float64(seen) / float64(h.Count)
+}
+
 // String renders the five-number summary used in reports.
 func (h *Histogram) String() string {
 	if h.Count == 0 {

@@ -1,0 +1,157 @@
+package ukpool
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// overloadOpts pins one instance per core with a fixed service cost
+// (~47us/request), so a 2.5x open-loop trace genuinely overloads the
+// queue instead of hiding behind fleet elasticity.
+func overloadOpts(extra ...Option) []Option {
+	return append([]Option{
+		WithWarm(2), WithMaxInstances(2), DisableAutoscale(),
+		WithServiceCost(4, 170_000),
+	}, extra...)
+}
+
+// overloadTrace: ~2 cores / 47us is ~42K req/s capacity; offer 100K.
+func overloadTrace(n int, deadline time.Duration) *Overload {
+	w := NewOverload(31, 100_000, n, 256)
+	if deadline > 0 {
+		w.Deadlines(deadline, 10*deadline)
+	}
+	return w
+}
+
+// TestDeadlineNeverServesExpired: with per-request deadlines the pool
+// must drop expired queue entries before charging any service time —
+// so every completed request was dispatched while still live, and no
+// recorded latency can exceed deadline + one service time. Without the
+// pre-dispatch expiry check, overload pushes completions seconds past
+// their deadlines.
+func TestDeadlineNeverServesExpired(t *testing.T) {
+	const deadline = 5 * time.Millisecond
+	p := New(testBoot(t), overloadOpts()...)
+	defer p.Close()
+	rep, err := p.Serve(overloadTrace(50_000, deadline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Expired == 0 {
+		t.Fatal("2.5x overload with a 5ms deadline expired nothing")
+	}
+	if rep.Completed() == 0 {
+		t.Fatal("deadline queue served nothing")
+	}
+	// Latency histogram buckets are log-spaced; 4x the deadline bounds
+	// the bucket edge above deadline + service time with margin.
+	if frac := rep.Latency.FractionBelow(4 * deadline); frac < 1 {
+		t.Errorf("%.4f of completions exceeded the deadline + service bound — expired requests were served", 1-frac)
+	}
+	if rep.Requests != rep.Completed()+rep.Failed+rep.Expired {
+		t.Errorf("conservation broken: %d != %d + %d + %d",
+			rep.Requests, rep.Completed(), rep.Failed, rep.Expired)
+	}
+	if uint64(rep.Completed()) != rep.Latency.Count {
+		t.Errorf("latency count %d != completed %d", rep.Latency.Count, rep.Completed())
+	}
+}
+
+// TestOverloadShardOneIdentity: ServeParallel with one shard must
+// reproduce sequential Serve byte-for-byte with the whole overload
+// surface armed — deadlines, brownout, a slowdown window.
+func TestOverloadShardOneIdentity(t *testing.T) {
+	opts := overloadOpts(WithBrownout(16),
+		WithSlowdown(50*time.Millisecond, 150*time.Millisecond, 2))
+
+	seqPool := New(testBoot(t), opts...)
+	defer seqPool.Close()
+	seq, err := seqPool.Serve(overloadTrace(30_000, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parPool := New(testBoot(t), opts...)
+	defer parPool.Close()
+	par, err := parPool.ServeParallel(overloadTrace(30_000, 5*time.Millisecond), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("1-shard overload serve diverged from sequential:\n%v\nvs\n%v", seq, par)
+	}
+	if seq.Expired == 0 || seq.Browned == 0 {
+		t.Errorf("overload path never engaged (expired=%d browned=%d)", seq.Expired, seq.Browned)
+	}
+}
+
+// TestOverloadShardedDeterminism: the sharded overload path — expiry,
+// brownout, per-shard queues — reproduces bit-for-bit across runs.
+func TestOverloadShardedDeterminism(t *testing.T) {
+	run := func() *Report {
+		p := New(testBoot(t), overloadOpts(WithBrownout(16))...)
+		defer p.Close()
+		rep, err := p.ServeParallel(overloadTrace(30_000, 5*time.Millisecond), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("sharded overload runs diverged:\n%v\nvs\n%v", a, b)
+	}
+	if a.Requests != a.Completed()+a.Failed+a.Expired {
+		t.Errorf("conservation broken: %d != %d + %d + %d",
+			a.Requests, a.Completed(), a.Failed, a.Expired)
+	}
+}
+
+// TestBrownoutDegradesBeforeDropping: past the queue-depth trigger the
+// pool serves half-work responses instead of letting entries expire —
+// more completions, fewer expiries, Browned accounting for the
+// degraded ones.
+func TestBrownoutDegradesBeforeDropping(t *testing.T) {
+	serve := func(extra ...Option) *Report {
+		p := New(testBoot(t), overloadOpts(extra...)...)
+		defer p.Close()
+		rep, err := p.Serve(overloadTrace(50_000, 5*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	plain := serve()
+	browned := serve(WithBrownout(16))
+	if browned.Browned == 0 {
+		t.Fatal("brownout never engaged under 2.5x overload")
+	}
+	if browned.Completed() <= plain.Completed() {
+		t.Errorf("brownout served %d <= plain %d under identical overload",
+			browned.Completed(), plain.Completed())
+	}
+	if browned.Expired >= plain.Expired {
+		t.Errorf("brownout expired %d >= plain %d — degrading absorbed nothing",
+			browned.Expired, plain.Expired)
+	}
+}
+
+// TestDeadlineFreeIdentity: a trace without deadlines through a pool
+// with brownout disarmed must be byte-identical to the same pool before
+// this layer existed — i.e. the overload fields stay zero and the
+// accounting identity reduces to the old one.
+func TestDeadlineFreeIdentity(t *testing.T) {
+	p := New(testBoot(t), overloadOpts()...)
+	defer p.Close()
+	rep, err := p.Serve(overloadTrace(20_000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Expired != 0 || rep.Browned != 0 {
+		t.Errorf("deadline-free serve recorded expired=%d browned=%d", rep.Expired, rep.Browned)
+	}
+	if rep.Completed() != rep.Requests-rep.Failed {
+		t.Errorf("completed %d != requests %d - failed %d", rep.Completed(), rep.Requests, rep.Failed)
+	}
+}

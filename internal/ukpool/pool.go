@@ -97,6 +97,29 @@ type Config struct {
 	// into fixed windows of virtual time (Report.Series) — the timeline
 	// the chaos experiment derives recovery time from.
 	SeriesWindow time.Duration
+	// DefaultDeadline, when > 0, stamps every request that arrives
+	// without its own deadline: deadline = origin + DefaultDeadline
+	// (origin is the front-door arrival when the cluster router set one,
+	// the pool arrival otherwise). Requests whose deadline has already
+	// passed when an instance would pick them up are dropped before any
+	// service time is charged and counted Expired.
+	DefaultDeadline time.Duration
+	// BrownoutWater, when > 0, arms the brownout hook: a request that
+	// starts service while at least this many requests are queued behind
+	// it is served degraded — RequestWork is skipped and the application
+	// work drops to BrownoutCycles — trading response fidelity for
+	// drain rate before anything is dropped. Counted in Report.Browned.
+	BrownoutWater int
+	// BrownoutCycles is the degraded-mode application work per request
+	// (default AppCycles / 2).
+	BrownoutCycles uint64
+	// SlowFactor > 1 multiplies every service time by that factor inside
+	// the virtual-time window [SlowFrom, SlowTo) — external interference
+	// (a noisy neighbor, a failing disk) that slows the host without
+	// charging its CPU. SlowTo <= SlowFrom means "until the trace ends".
+	// The fault plan's slow-host scenarios map here.
+	SlowFactor       float64
+	SlowFrom, SlowTo time.Duration
 	// ForkBoot, when set, replaces every instance instantiation (warm
 	// floor, demand cold boots, autoscaler scale-ups) with a
 	// snapshot-fork clone — the Spec's WithSnapshotBoot plumbed into the
@@ -185,6 +208,27 @@ func WithBreaker(n int) Option { return func(c *Config) { c.BreakerAfter = n } }
 // (Report.Series) with the given window of virtual time.
 func WithLatencySeries(d time.Duration) Option {
 	return func(c *Config) { c.SeriesWindow = d }
+}
+
+// WithDeadline stamps a default end-to-end deadline (origin + d) on
+// every request that arrives without one; expired requests are dropped
+// unserved and counted Expired.
+func WithDeadline(d time.Duration) Option {
+	return func(c *Config) { c.DefaultDeadline = d }
+}
+
+// WithBrownout arms degraded-mode serving once the queue behind a
+// dispatch reaches depth (0 disables; see Config.BrownoutWater).
+func WithBrownout(depth int) Option {
+	return func(c *Config) { c.BrownoutWater = depth }
+}
+
+// WithSlowdown multiplies service times by factor inside [from, to) —
+// the slow-host fault scenario (factor <= 1 disables).
+func WithSlowdown(from, to time.Duration, factor float64) Option {
+	return func(c *Config) {
+		c.SlowFrom, c.SlowTo, c.SlowFactor = from, to, factor
+	}
 }
 
 // WithForkBoot makes the fleet instantiate instances by snapshot-fork
@@ -388,6 +432,14 @@ type Report struct {
 	// Crashes counts mid-request instance crashes; BreakerTrips counts
 	// instances the circuit breaker retired after repeated crashes.
 	Crashes, BreakerTrips int
+	// Expired counts requests dropped because their deadline passed
+	// before an instance picked them up — no service time was charged
+	// for them. Distinct from Failed (lost to faults) and from the
+	// cluster's Shed (refused by admission before reaching a host).
+	Expired int
+	// Browned counts service windows started in degraded (brownout)
+	// mode: RequestWork skipped, application work cut to BrownoutCycles.
+	Browned int
 	// ScaleUps and ScaleDowns count autoscaler resize decisions.
 	ScaleUps, ScaleDowns int
 	// PeakInstances is the largest fleet observed; FinalInstances the
@@ -420,9 +472,9 @@ type Report struct {
 	Series []Histogram
 }
 
-// Completed is Requests minus Failed — the requests that actually got
-// a response.
-func (r *Report) Completed() int { return r.Requests - r.Failed }
+// Completed is Requests minus Failed minus Expired — the requests that
+// actually got a response.
+func (r *Report) Completed() int { return r.Requests - r.Failed - r.Expired }
 
 // WarmHitRatio is WarmHits / Requests, the pool's headline number.
 func (r *Report) WarmHitRatio() float64 {
@@ -455,6 +507,8 @@ func (r *Report) Merge(o *Report) {
 	r.Retried += o.Retried
 	r.Crashes += o.Crashes
 	r.BreakerTrips += o.BreakerTrips
+	r.Expired += o.Expired
+	r.Browned += o.Browned
 	r.ScaleUps += o.ScaleUps
 	r.ScaleDowns += o.ScaleDowns
 	r.PeakInstances += o.PeakInstances
@@ -496,6 +550,9 @@ func (r *Report) String() string {
 	if r.Crashes > 0 || r.Failed > 0 || r.Retried > 0 {
 		out += fmt.Sprintf("faults   crashes=%d retried=%d failed=%d breaker-trips=%d\n",
 			r.Crashes, r.Retried, r.Failed, r.BreakerTrips)
+	}
+	if r.Expired > 0 || r.Browned > 0 {
+		out += fmt.Sprintf("overload expired=%d browned=%d\n", r.Expired, r.Browned)
 	}
 	return out + fmt.Sprintf("latency  %v", &r.Latency)
 }
@@ -834,6 +891,9 @@ func (p *Pool) serveParallelLocked(w Workload, shards int, crashAt time.Duration
 		cfg.MinWarm = ceil(cfg.MinWarm)
 		cfg.MaxInstances = ceil(cfg.MaxInstances)
 		cfg.ColdBurst = ceil(cfg.ColdBurst)
+		if cfg.BrownoutWater > 0 {
+			cfg.BrownoutWater = ceil(cfg.BrownoutWater)
+		}
 		// The template (and its OnClose hook) stays with the parent:
 		// children remap instance ids into the parent's fork/boot funcs
 		// and must not release shared state when they close.
@@ -906,10 +966,30 @@ func (p *Pool) scheduleArrival(st *serveState) {
 	st.loop.ScheduleAt(req.Arrival, &st.arrEv)
 }
 
+// expired reports whether req's deadline (if any) has passed at now.
+func expired(req Request, now time.Duration) bool {
+	return req.Deadline > 0 && now >= req.Deadline
+}
+
 // arrive routes one request: warm hit, cold boot, or queue.
 func (p *Pool) arrive(st *serveState, req Request, now time.Duration) {
 	st.rep.Requests++
 	st.winArrivals++
+	if p.cfg.DefaultDeadline > 0 && req.Deadline == 0 {
+		origin := req.Arrival
+		if req.Origin != 0 {
+			origin = req.Origin
+		}
+		req.Deadline = origin + p.cfg.DefaultDeadline
+	}
+	// A request can show up dead on arrival when routing and link delay
+	// already ate its whole allowance; booting or queueing for it would
+	// be pure waste.
+	if expired(req, now) {
+		st.rep.Expired++
+		p.scheduleArrival(st)
+		return
+	}
 	switch {
 	case p.idle.len() > 0:
 		inst := p.takeIdle()
@@ -944,9 +1024,25 @@ func (p *Pool) arrive(st *serveState, req Request, now time.Duration) {
 }
 
 // startService charges the request's work to the instance's own CPU and
-// schedules the completion on the instance's reusable event.
+// schedules the completion on the instance's reusable event. Requests
+// whose deadline passed while they waited (on a boot, in the queue, or
+// between crash retries) are dropped here, before any service time is
+// charged, and the instance goes back to draining the queue.
 func (p *Pool) startService(st *serveState, inst *instance, req Request, now time.Duration) {
-	svc := p.serviceTime(inst, req.Bytes)
+	if expired(req, now) {
+		st.rep.Expired++
+		p.dispatch(st, inst, now)
+		return
+	}
+	brown := p.cfg.BrownoutWater > 0 && st.queue.len() >= p.cfg.BrownoutWater
+	if brown {
+		st.rep.Browned++
+	}
+	svc := p.serviceTime(inst, req.Bytes, brown)
+	if f := p.cfg.SlowFactor; f > 1 && now >= p.cfg.SlowFrom &&
+		(p.cfg.SlowTo <= p.cfg.SlowFrom || now < p.cfg.SlowTo) {
+		svc = time.Duration(float64(svc) * f)
+	}
 	st.busy++
 	// The fault hazard flips the request's deterministic coin: on a
 	// crash the instance dies a fraction of the way through the service
@@ -1064,13 +1160,21 @@ func (p *Pool) finishInstance(st *serveState, inst *instance, now time.Duration)
 // through the shim, two virtqueue kicks (amortized over KickBatch),
 // payload copies in and out (elided under ZeroCopy), the application
 // cycles, and (by default) a real malloc/free of the payload buffer on
-// the instance heap.
-func (p *Pool) serviceTime(inst *instance, bytes int) time.Duration {
+// the instance heap. In brownout mode the application work drops to
+// BrownoutCycles and RequestWork is skipped — the degraded variant a
+// pressured server answers with instead of dropping.
+func (p *Pool) serviceTime(inst *instance, bytes int, brown bool) time.Duration {
 	m := inst.vm.Machine
 	start := m.CPU.Cycles()
 	kicks := 2 * m.Costs.VMExit / uint64(p.cfg.KickBatch)
+	app := p.cfg.AppCycles
+	if brown {
+		if app = p.cfg.BrownoutCycles; app == 0 {
+			app = p.cfg.AppCycles / 2
+		}
+	}
 	m.Charge(uint64(p.cfg.SyscallsPerRequest)*m.Costs.UnikraftSyscall +
-		kicks + p.cfg.AppCycles)
+		kicks + app)
 	if !p.cfg.ZeroCopy {
 		m.ChargeCopy(bytes) // rx
 		m.ChargeCopy(bytes) // tx
@@ -1080,7 +1184,7 @@ func (p *Pool) serviceTime(inst *instance, bytes int) time.Duration {
 			_ = inst.vm.Heap.Free(ptr)
 		}
 	}
-	if p.cfg.RequestWork != nil {
+	if p.cfg.RequestWork != nil && !brown {
 		p.reqSeq++
 		p.cfg.RequestWork(inst.vm, p.reqSeq)
 	}
@@ -1162,11 +1266,20 @@ func (p *Pool) tick(st *serveState, now time.Duration) {
 	}
 }
 
-// dispatch routes a ready instance: the oldest queued request if any
-// are waiting, else back to the warm set.
+// dispatch routes a ready instance: the oldest still-live queued
+// request if any are waiting, else back to the warm set. Queued
+// requests whose deadline passed while they waited are discarded here —
+// iteratively, so a long run of expired entries never recurses — which
+// is what keeps an expired request from ever being served ahead of a
+// live one.
 func (p *Pool) dispatch(st *serveState, inst *instance, now time.Duration) {
-	if st.queue.len() > 0 {
-		p.startService(st, inst, st.queue.popFront(), now)
+	for st.queue.len() > 0 {
+		req := st.queue.popFront()
+		if expired(req, now) {
+			st.rep.Expired++
+			continue
+		}
+		p.startService(st, inst, req, now)
 		return
 	}
 	p.idle.pushBack(inst)

@@ -30,7 +30,23 @@ type Request struct {
 	// the deterministic VM crash draw so a retried request flips a
 	// fresh coin instead of crashing forever.
 	Attempt int
+	// Deadline, when non-zero, is the absolute virtual time past which
+	// the answer stops mattering. The cluster front door and the pool's
+	// queue both drop a request whose deadline already passed — before
+	// any service time is charged — and count it Expired. Zero means no
+	// deadline (every pre-overload-control trace).
+	Deadline time.Duration
+	// Class is the request's priority class. Staged admission sheds
+	// ClassBatch traffic before it touches ClassInteractive.
+	Class int
 }
+
+// Priority classes. Zero is interactive on purpose: anonymous legacy
+// traffic is the last thing the admission controller sacrifices.
+const (
+	ClassInteractive = 0
+	ClassBatch       = 1
+)
 
 // Workload is a stream of requests in non-decreasing arrival order.
 // Generators are pull-based iterators so traces of millions of requests
@@ -189,6 +205,104 @@ func (d *Diurnal) Next() (Request, bool) {
 	req := Request{Arrival: d.now, Bytes: d.bytes}
 	if d.sessions > 0 {
 		req.Key = d.rnd.Uint64()%uint64(d.sessions) + 1
+	}
+	return req, true
+}
+
+// Overload is the open-loop overload trace: a Poisson arrival process
+// pinned at a fixed rate — typically a multiple of the serving
+// capacity — that keeps offering load no matter how far the system
+// falls behind (no client backpressure, the regime where FIFO queues
+// collapse). Each request carries a priority class drawn from a fixed
+// mix and a per-class relative deadline stamped at generation time, so
+// the end-to-end deadline travels from the workload through the front
+// door into the pool queue.
+type Overload struct {
+	rnd      *sim.Rand
+	rate     float64
+	bytes    int
+	n, i     int
+	now      time.Duration
+	mix      float64 // interactive share of the trace, in [0, 1]
+	dlInt    time.Duration
+	dlBatch  time.Duration
+	sessions int
+	surgeAt  time.Duration
+	surgeEnd time.Duration
+	surge    float64
+}
+
+// NewOverload returns n requests of size bytes arriving open-loop at
+// rate requests/second, derived from seed. By default the whole trace
+// is interactive and carries no deadlines; chain Mix, Deadlines,
+// Sessions and Surge to shape it.
+func NewOverload(seed uint64, rate float64, n, bytes int) *Overload {
+	if rate <= 0 {
+		rate = 1
+	}
+	return &Overload{rnd: sim.NewRand(seed), rate: rate, bytes: bytes, n: n, mix: 1}
+}
+
+// Mix sets the interactive share of the trace; the remainder is batch.
+func (o *Overload) Mix(interactiveShare float64) *Overload {
+	if interactiveShare < 0 {
+		interactiveShare = 0
+	}
+	if interactiveShare > 1 {
+		interactiveShare = 1
+	}
+	o.mix = interactiveShare
+	return o
+}
+
+// Deadlines sets the per-class relative deadlines (0 leaves the class
+// deadline-free); each request's absolute deadline is its arrival plus
+// its class's allowance.
+func (o *Overload) Deadlines(interactive, batch time.Duration) *Overload {
+	o.dlInt, o.dlBatch = interactive, batch
+	return o
+}
+
+// Sessions draws request keys from a population of n sessions (<= 0
+// leaves requests anonymous).
+func (o *Overload) Sessions(n int) *Overload {
+	o.sessions = n
+	return o
+}
+
+// Surge multiplies the arrival rate by factor inside [at, at+dur) —
+// the flash-crowd spike on top of the sustained overload.
+func (o *Overload) Surge(at, dur time.Duration, factor float64) *Overload {
+	if factor < 1 {
+		factor = 1
+	}
+	o.surgeAt, o.surgeEnd, o.surge = at, at+dur, factor
+	return o
+}
+
+// Next implements Workload.
+func (o *Overload) Next() (Request, bool) {
+	if o.i >= o.n {
+		return Request{}, false
+	}
+	o.i++
+	rate := o.rate
+	if o.surge > 1 && o.now >= o.surgeAt && o.now < o.surgeEnd {
+		rate *= o.surge
+	}
+	gap := o.rnd.ExpFloat64() / rate * float64(time.Second)
+	o.now += time.Duration(gap)
+	req := Request{Arrival: o.now, Bytes: o.bytes}
+	if o.rnd.Float64() >= o.mix {
+		req.Class = ClassBatch
+		if o.dlBatch > 0 {
+			req.Deadline = o.now + o.dlBatch
+		}
+	} else if o.dlInt > 0 {
+		req.Deadline = o.now + o.dlInt
+	}
+	if o.sessions > 0 {
+		req.Key = o.rnd.Uint64()%uint64(o.sessions) + 1
 	}
 	return req, true
 }

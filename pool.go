@@ -120,6 +120,52 @@ func BurstyWorkload(seed uint64, baseRate, burstRate float64, period time.Durati
 // TraceWorkload replays a fixed request slice (sorted by arrival).
 func TraceWorkload(reqs []Request) Workload { return ukpool.NewTrace(reqs) }
 
+// OverloadOption shapes an OverloadWorkload (WithPriorityMix,
+// WithWorkloadDeadlines, WithWorkloadSessions, WithSurge).
+type OverloadOption func(*ukpool.Overload)
+
+// WithPriorityMix sets the interactive share of an overload trace in
+// [0, 1]; the remainder is batch-class traffic, which staged admission
+// control sacrifices first (default 1: all interactive).
+func WithPriorityMix(interactiveShare float64) OverloadOption {
+	return func(o *ukpool.Overload) { o.Mix(interactiveShare) }
+}
+
+// WithWorkloadDeadlines stamps per-class relative deadlines on an
+// overload trace: each request's absolute deadline is its arrival plus
+// its class's allowance (0 leaves that class deadline-free).
+func WithWorkloadDeadlines(interactive, batch time.Duration) OverloadOption {
+	return func(o *ukpool.Overload) { o.Deadlines(interactive, batch) }
+}
+
+// WithWorkloadSessions draws request keys from a population of n
+// sessions (for hash affinity); <= 0 leaves requests anonymous.
+func WithWorkloadSessions(n int) OverloadOption {
+	return func(o *ukpool.Overload) { o.Sessions(n) }
+}
+
+// WithSurge multiplies the overload trace's arrival rate by factor
+// inside [at, at+dur) — a flash-crowd spike on top of the sustained
+// overload.
+func WithSurge(at, dur time.Duration, factor float64) OverloadOption {
+	return func(o *ukpool.Overload) { o.Surge(at, dur, factor) }
+}
+
+// OverloadWorkload is the open-loop overload trace: n requests of size
+// bytes arriving Poisson at a fixed rate — typically a multiple of
+// serving capacity — with no client backpressure, the regime where
+// uncontrolled FIFO queues collapse. Options attach a priority mix,
+// per-class deadlines, session keys and a surge window; the deadlines
+// ride each request end to end, from generation through the front door
+// into the pool queue.
+func OverloadWorkload(seed uint64, rate float64, n, bytes int, opts ...OverloadOption) Workload {
+	o := ukpool.NewOverload(seed, rate, n, bytes)
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
 // Pool option re-exports. The canonical names carry the Pool prefix —
 // they configure a Pool, not a Spec, and the prefix keeps them from
 // colliding with spec options (WithZeroCopy the spec option vs
@@ -182,6 +228,27 @@ func WithPoolKickBatch(n int) PoolOption { return ukpool.WithKickBatch(n) }
 // WithSnapshotBoot, pointing at a pool-owned template).
 func WithPoolForkBoot(fork func(id int) (*VM, error)) PoolOption {
 	return ukpool.WithForkBoot(fork)
+}
+
+// WithPoolDeadline stamps arrival + d as the deadline on every request
+// that reaches the pool without one. Expired requests — dead on
+// arrival or timed out while queued — are dropped before any service
+// time is charged and counted Expired, so a standalone pool gets the
+// same deadline discipline the cluster front door provides.
+func WithPoolDeadline(d time.Duration) PoolOption { return ukpool.WithDeadline(d) }
+
+// WithPoolBrownout serves requests in degraded mode (half the
+// application cycles, no per-request attachment work) whenever the
+// shard's queue is depth deep — degrade before you drop. Counted in
+// Report.Browned.
+func WithPoolBrownout(depth int) PoolOption { return ukpool.WithBrownout(depth) }
+
+// WithPoolSlowdown stretches every service started in [from, to) by
+// factor (to <= from: until the trace ends) — the noisy-neighbor /
+// thermal-throttle hazard. The cluster layer wires this automatically
+// for hosts a fault plan marks slow.
+func WithPoolSlowdown(from, to time.Duration, factor float64) PoolOption {
+	return ukpool.WithSlowdown(from, to, factor)
 }
 
 // WithPoolRequestWork attaches per-request instance work to the pool:
