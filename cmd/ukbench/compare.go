@@ -60,7 +60,7 @@ var identityColumns = map[string]bool{
 	"system": true, "setup": true, "mode": true, "datapath": true,
 	"trace": true, "allocator": true, "configuration": true,
 	"source": true, "vmm": true, "platform": true, "app": true,
-	"backend": true,
+	"backend": true, "engine": true, "scenario": true,
 }
 
 // rowKey joins the identity cells so baseline and current rows match

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// engines returns a fresh instance of each event-loop engine, keyed by
+// name, for tests that must hold on both.
+func engines() map[string]Loop {
+	return map[string]Loop{"wheel": NewEventLoop(), "heap": NewHeapLoop()}
+}
+
+// TestWheelMatchesHeapAcrossShapes is the differential harness: every
+// schedule shape, under multiple seeds, replayed through the heap and
+// the wheel must produce identical (timestamp, label) dispatch traces,
+// and each trace must independently satisfy the scheduling invariants.
+func TestWheelMatchesHeapAcrossShapes(t *testing.T) {
+	shapes := DiffShapes()
+	if len(shapes) < 50 {
+		t.Fatalf("shape table has %d entries, the harness promises >= 50", len(shapes))
+	}
+	for _, s := range shapes {
+		t.Run(s.Name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				wheel := NewRecordingLoop(NewEventLoop())
+				wpb := PlaySchedule(wheel, seed, s)
+				wheel.Run()
+				heap := NewRecordingLoop(NewHeapLoop())
+				hpb := PlaySchedule(heap, seed, s)
+				heap.Run()
+				if err := VerifyTrace(wheel.Trace, wpb); err != nil {
+					t.Fatalf("seed %d: wheel invariants: %v", seed, err)
+				}
+				if err := VerifyTrace(heap.Trace, hpb); err != nil {
+					t.Fatalf("seed %d: heap invariants: %v", seed, err)
+				}
+				if err := DiffTraces(heap.Trace, wheel.Trace); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if w, h := wheel.Dispatched(), heap.Dispatched(); w != h {
+					t.Fatalf("seed %d: dispatched counts differ: wheel %d, heap %d", seed, w, h)
+				}
+			}
+		})
+	}
+}
+
+// TestScheduleClampUnified is the regression for the unified schedule
+// path: all four public schedule methods, on both engines, clamp past
+// targets (including negative After delays) to Now instead of moving
+// time backwards, and preserve admission order among the clamped.
+func TestScheduleClampUnified(t *testing.T) {
+	for name, l := range engines() {
+		t.Run(name, func(t *testing.T) {
+			var order []int
+			mark := func(id int, want time.Duration) func(time.Duration) {
+				return func(now time.Duration) {
+					if now != want {
+						t.Errorf("event %d fired at %v, want %v", id, now, want)
+					}
+					order = append(order, id)
+				}
+			}
+			l.At(10*time.Millisecond, func(now time.Duration) {
+				// From inside a callback at t=10ms, every past target
+				// must fire at exactly 10ms, in scheduling order.
+				l.After(-5*time.Millisecond, mark(0, now))
+				l.At(now-time.Second, mark(1, now))
+				l.ScheduleAfter(-1, handlerFunc(mark(2, now)))
+				l.ScheduleAt(-42, handlerFunc(mark(3, now)))
+				l.After(0, mark(4, now))
+			})
+			l.Run()
+			if l.Now() != 10*time.Millisecond {
+				t.Errorf("Now = %v after clamped events, want 10ms", l.Now())
+			}
+			for i, id := range order {
+				if i != id {
+					t.Fatalf("clamped dispatch order = %v, want identity", order)
+				}
+			}
+			if len(order) != 5 {
+				t.Fatalf("dispatched %d clamped events, want 5", len(order))
+			}
+		})
+	}
+}
+
+// TestPeekAfterLateEarlierEvent: Peek may advance the wheel's internal
+// cursor to the next occupied slot; an event scheduled *after* that
+// peek but *before* the peeked timestamp must still dispatch first.
+func TestPeekAfterLateEarlierEvent(t *testing.T) {
+	for name, l := range engines() {
+		t.Run(name, func(t *testing.T) {
+			var order []int
+			l.At(time.Millisecond, func(time.Duration) { order = append(order, 1) })
+			if at, ok := l.Peek(); !ok || at != time.Millisecond {
+				t.Fatalf("Peek = %v, %v; want 1ms, true", at, ok)
+			}
+			l.At(500*time.Microsecond, func(time.Duration) { order = append(order, 0) })
+			if at, ok := l.Peek(); !ok || at != 500*time.Microsecond {
+				t.Fatalf("Peek after earlier insert = %v, %v; want 500µs, true", at, ok)
+			}
+			l.Run()
+			if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+				t.Fatalf("dispatch order = %v, want [0 1]", order)
+			}
+			if _, ok := l.Peek(); ok {
+				t.Error("Peek reported an event on a drained loop")
+			}
+		})
+	}
+}
+
+// TestFarOverflowAndLapWrap drives the wheel through its two coarse
+// edges deterministically: an event beyond WheelHorizon (far heap,
+// drained back as the cursor approaches) and a level-3 placement whose
+// slot position wraps behind the cursor (a top-level lap).
+func TestFarOverflowAndLapWrap(t *testing.T) {
+	wheel := NewRecordingLoop(NewEventLoop())
+	heap := NewRecordingLoop(NewHeapLoop())
+	program := func(r *RecordingLoop) {
+		// Far overflow: past the wheel's span.
+		r.Record(2*WheelHorizon, 0, nil)
+		r.Record(WheelHorizon*3/4, 1, func(now time.Duration) {
+			// From t=3/4 horizon, +1/2 horizon stays inside the span
+			// but its top-level slot index wraps below the cursor's.
+			r.Record(now+WheelHorizon/2, 2, nil)
+			r.Record(now+time.Microsecond, 3, nil)
+		})
+		r.Record(time.Millisecond, 4, nil)
+		r.Run()
+	}
+	program(wheel)
+	program(heap)
+	if err := DiffTraces(heap.Trace, wheel.Trace); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{4, 1, 3, 2, 0}
+	for i, rec := range wheel.Trace {
+		if rec.Label != want[i] {
+			t.Fatalf("dispatch labels = %v, want %v", wheel.Trace, want)
+		}
+	}
+}
+
+// TestLenTracksPending: Len counts scheduled-but-undispatched events on
+// both engines, through scheduling, peeking and dispatching.
+func TestLenTracksPending(t *testing.T) {
+	for name, l := range engines() {
+		t.Run(name, func(t *testing.T) {
+			for i := 1; i <= 10; i++ {
+				l.After(time.Duration(i)*time.Minute, func(time.Duration) {})
+				if l.Len() != i {
+					t.Fatalf("Len = %d after %d schedules", l.Len(), i)
+				}
+			}
+			l.Peek()
+			if l.Len() != 10 {
+				t.Fatalf("Len = %d after Peek, want 10", l.Len())
+			}
+			for i := 9; l.Step(); i-- {
+				if l.Len() != i {
+					t.Fatalf("Len = %d, want %d", l.Len(), i)
+				}
+			}
+			if l.Len() != 0 || l.Dispatched() != 10 {
+				t.Fatalf("Len = %d, Dispatched = %d after drain", l.Len(), l.Dispatched())
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -8,7 +9,7 @@ import (
 // countHandler is the intrusive-event pattern the serving layer uses: a
 // reusable struct scheduled by pointer, rescheduling itself.
 type countHandler struct {
-	loop *EventLoop
+	loop Loop
 	n    int
 	left int
 }
@@ -21,12 +22,11 @@ func (h *countHandler) Fire(now time.Duration) {
 	}
 }
 
-// BenchmarkEventLoop measures the handler fast path: schedule + dispatch
-// with a reused handler must not allocate per event.
-func BenchmarkEventLoop(b *testing.B) {
-	loop := NewEventLoop()
+// benchLoop measures the handler fast path on one engine: schedule +
+// dispatch with a reused handler must not allocate per event.
+func benchLoop(b *testing.B, loop Loop) {
 	h := &countHandler{loop: loop}
-	// Warm the heap slice so growth is out of the measurement.
+	// Warm the queue structures so growth is out of the measurement.
 	loop.ScheduleAfter(0, h)
 	loop.Run()
 	b.ReportAllocs()
@@ -36,6 +36,47 @@ func BenchmarkEventLoop(b *testing.B) {
 	loop.Run()
 	if h.n < b.N {
 		b.Fatalf("dispatched %d events, want >= %d", h.n, b.N)
+	}
+}
+
+func BenchmarkEventLoop(b *testing.B) { benchLoop(b, NewEventLoop()) }
+func BenchmarkHeapLoop(b *testing.B)  { benchLoop(b, NewHeapLoop()) }
+
+// BenchmarkEnginePending measures both engines under a standing timer
+// population — the regime the wheel exists for. N self-rescheduling
+// timers stay pending at all times; the heap pays O(log N) per event
+// while the wheel stays O(1).
+func BenchmarkEnginePending(b *testing.B) {
+	for _, engine := range []struct {
+		name string
+		mk   func() Loop
+	}{
+		{"wheel", func() Loop { return NewEventLoop() }},
+		{"heap", func() Loop { return NewHeapLoop() }},
+	} {
+		for _, timers := range []int{1 << 10, 1 << 16} {
+			b.Run(fmt.Sprintf("%s/timers=%d", engine.name, timers), func(b *testing.B) {
+				loop := engine.mk()
+				left := b.N
+				var fire Handler
+				fire = handlerFunc(func(now time.Duration) {
+					if left > 0 {
+						left--
+						loop.ScheduleAfter(time.Duration(1+left%1024)*time.Microsecond, fire)
+					}
+				})
+				for i := 0; i < timers; i++ {
+					loop.ScheduleAfter(time.Duration(1+i%1024)*time.Microsecond, fire)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if !loop.Step() {
+						b.Fatal("loop drained early")
+					}
+				}
+			})
+		}
 	}
 }
 

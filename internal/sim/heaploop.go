@@ -1,0 +1,63 @@
+package sim
+
+import "time"
+
+// HeapLoop is the original binary-heap event loop, kept as the
+// reference engine: O(log n) schedule and dispatch, trivially correct
+// by construction. The production engine is the timer wheel (EventLoop)
+// — the heap survives so the differential harness can replay every
+// program through both and assert identical dispatch traces, and so the
+// engine benchmark has an honest baseline to measure the wheel against.
+type HeapLoop struct {
+	schedClock
+	h eventHeap
+}
+
+// NewHeapLoop returns an empty heap-backed loop at virtual time zero.
+func NewHeapLoop() *HeapLoop { return &HeapLoop{} }
+
+// Len reports the number of pending events.
+func (l *HeapLoop) Len() int { return l.h.len() }
+
+// At schedules fn to run at virtual time t (clamped to Now).
+func (l *HeapLoop) At(t time.Duration, fn func(now time.Duration)) {
+	l.h.push(l.admit(t, HandlerFunc(fn)))
+}
+
+// After schedules fn to run d after Now.
+func (l *HeapLoop) After(d time.Duration, fn func(now time.Duration)) {
+	l.h.push(l.admit(l.delay(d), HandlerFunc(fn)))
+}
+
+// ScheduleAt is At for a reusable Handler.
+func (l *HeapLoop) ScheduleAt(t time.Duration, h Handler) {
+	l.h.push(l.admit(t, h))
+}
+
+// ScheduleAfter is After for a reusable Handler.
+func (l *HeapLoop) ScheduleAfter(d time.Duration, h Handler) {
+	l.h.push(l.admit(l.delay(d), h))
+}
+
+// Peek reports the earliest pending timestamp without dispatching.
+func (l *HeapLoop) Peek() (time.Duration, bool) {
+	if l.h.len() == 0 {
+		return 0, false
+	}
+	return l.h.min().at, true
+}
+
+// Step dispatches the earliest pending event.
+func (l *HeapLoop) Step() bool {
+	if l.h.len() == 0 {
+		return false
+	}
+	l.fire(l.h.pop())
+	return true
+}
+
+// Run dispatches until no events remain.
+func (l *HeapLoop) Run() {
+	for l.Step() {
+	}
+}

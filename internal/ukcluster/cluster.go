@@ -519,27 +519,27 @@ func (c *Cluster) serveHosts(st *routeState) error {
 			}})
 		}
 	}
-	var wg sync.WaitGroup
-	for _, s := range slots {
-		wg.Add(1)
-		go func(s *slot) {
-			defer wg.Done()
-			if s.wr != nil {
-				if len(s.wr.assigned) == 0 {
-					// Crashed before any request reached it (e.g. mid
-					// handoff): nothing to serve, but the host still
-					// shows up per-host as crashed.
-					s.rep = &ukpool.Report{}
-					return
-				}
-				s.rep, s.err = s.wr.pool.ServeWith(ukpool.NewTrace(s.wr.assigned),
-					ukpool.ServeOpts{Shards: c.cfg.Cores, CrashAt: s.wr.crashedAt})
+	// Host loops are independent, so they run under the bounded
+	// deterministic worker pool; each slot writes only its own fields
+	// and the merge below walks slots in host order, so the report is
+	// identical however the workers interleave (and byte-identical to a
+	// sequential pass when the pool degenerates to one worker).
+	sim.ParallelFor(len(slots), func(i int) {
+		s := slots[i]
+		if s.wr != nil {
+			if len(s.wr.assigned) == 0 {
+				// Crashed before any request reached it (e.g. mid
+				// handoff): nothing to serve, but the host still
+				// shows up per-host as crashed.
+				s.rep = &ukpool.Report{}
 				return
 			}
-			s.rep, s.err = s.h.pool.ServeParallel(ukpool.NewTrace(s.h.assigned), c.cfg.Cores)
-		}(s)
-	}
-	wg.Wait()
+			s.rep, s.err = s.wr.pool.ServeWith(ukpool.NewTrace(s.wr.assigned),
+				ukpool.ServeOpts{Shards: c.cfg.Cores, CrashAt: s.wr.crashedAt})
+			return
+		}
+		s.rep, s.err = s.h.pool.ServeParallel(ukpool.NewTrace(s.h.assigned), c.cfg.Cores)
+	})
 
 	reps := make([]*ukpool.Report, 0, len(slots))
 	metas := make([]hostMeta, 0, len(slots))

@@ -129,6 +129,14 @@ type Config struct {
 	// OnClose runs once when the pool is closed — the hook the runtime
 	// uses to release the pool-owned snapshot template.
 	OnClose func()
+	// NewLoop, when set, supplies the event-loop engine every serve
+	// (and every shard of a parallel serve) runs on. Default nil uses
+	// the timer-wheel sim.EventLoop; the engine experiment swaps in
+	// sim.NewHeapLoop to race the two engines over identical traces.
+	// Any engine satisfying sim.Loop's dispatch-order contract
+	// (ascending timestamp, admission order within an instant) yields
+	// byte-identical reports.
+	NewLoop func() sim.Loop
 }
 
 // Option adjusts a Config.
@@ -208,6 +216,14 @@ func WithBreaker(n int) Option { return func(c *Config) { c.BreakerAfter = n } }
 // (Report.Series) with the given window of virtual time.
 func WithLatencySeries(d time.Duration) Option {
 	return func(c *Config) { c.SeriesWindow = d }
+}
+
+// WithEngine selects the event-loop engine serves run on (nil restores
+// the default timer wheel). The engine only changes how the dispatch
+// order is computed, never what it is, so reports are byte-identical
+// across engines.
+func WithEngine(mk func() sim.Loop) Option {
+	return func(c *Config) { c.NewLoop = mk }
 }
 
 // WithDeadline stamps a default end-to-end deadline (origin + d) on
@@ -469,7 +485,10 @@ type Report struct {
 	// [i*W, (i+1)*W). Shard merges are element-wise (all shards share
 	// the virtual timeline), so the merged series is the cluster-wide
 	// latency timeline the chaos experiment reads recovery time off.
-	Series []Histogram
+	// Windows are streaming histograms: each holds only the latency
+	// buckets it actually saw, so a long trace's series costs memory
+	// proportional to its windows' spread, not window count x 2KB.
+	Series []StreamHist
 }
 
 // Completed is Requests minus Failed minus Expired — the requests that
@@ -521,7 +540,7 @@ func (r *Report) Merge(o *Report) {
 	r.ColdBoot.Merge(&o.ColdBoot)
 	r.Latency.Merge(&o.Latency)
 	for len(r.Series) < len(o.Series) {
-		r.Series = append(r.Series, Histogram{})
+		r.Series = append(r.Series, StreamHist{})
 	}
 	for i := range o.Series {
 		r.Series[i].Merge(&o.Series[i])
@@ -562,7 +581,7 @@ func (r *Report) String() string {
 // per-instance timer) are embedded reusable structs: the steady-state
 // serving loop schedules by pointer and allocates nothing per event.
 type serveState struct {
-	loop  *sim.EventLoop
+	loop  sim.Loop
 	w     Workload
 	wDone bool
 	rep   *Report
@@ -651,7 +670,7 @@ func (e *instEvent) Fire(now time.Duration) {
 		if w := p.cfg.SeriesWindow; w > 0 {
 			idx := int(now / w)
 			for len(st.rep.Series) <= idx {
-				st.rep.Series = append(st.rep.Series, Histogram{})
+				st.rep.Series = append(st.rep.Series, StreamHist{})
 			}
 			st.rep.Series[idx].Record(e.lat)
 		}
@@ -752,12 +771,21 @@ func (p *Pool) ServeWith(w Workload, o ServeOpts) (*Report, error) {
 	return p.serveLocked(w, o.CrashAt)
 }
 
+// newLoop builds the event-loop engine a serve runs on: the configured
+// one, or the timer wheel by default.
+func (p *Pool) newLoop() sim.Loop {
+	if p.cfg.NewLoop != nil {
+		return p.cfg.NewLoop()
+	}
+	return sim.NewEventLoop()
+}
+
 func (p *Pool) serveLocked(w Workload, crashAt time.Duration) (*Report, error) {
 	if p.closed {
 		return nil, fmt.Errorf("ukpool: serve on closed pool")
 	}
 
-	st := &serveState{loop: sim.NewEventLoop(), w: w, rep: &Report{}}
+	st := &serveState{loop: p.newLoop(), w: w, rep: &Report{}}
 	st.arrEv = arrivalEvent{p: p, st: st}
 	st.tickEv = tickEvent{p: p, st: st}
 
@@ -908,20 +936,17 @@ func (p *Pool) serveParallelLocked(w Workload, shards int, crashAt time.Duration
 		}}
 	}
 
+	// Shards run under the bounded deterministic worker pool: results
+	// land in per-shard slots and merge in shard order below, so the
+	// report is independent of which worker ran which shard.
 	reps := make([]*Report, shards)
 	errs := make([]error, shards)
-	var wg sync.WaitGroup
-	for s := 0; s < shards; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			c := children[s]
-			c.mu.Lock()
-			reps[s], errs[s] = c.serveLocked(NewTrace(parts[s]), crashAt)
-			c.mu.Unlock()
-		}(s)
-	}
-	wg.Wait()
+	sim.ParallelFor(shards, func(s int) {
+		c := children[s]
+		c.mu.Lock()
+		reps[s], errs[s] = c.serveLocked(NewTrace(parts[s]), crashAt)
+		c.mu.Unlock()
+	})
 
 	// Burn the id range the shards consumed so later Serve calls on
 	// this pool cannot collide with it.
@@ -1328,32 +1353,28 @@ func (p *Pool) bootOne() (*instance, error) {
 	return inst, nil
 }
 
-// bootBatch boots n instances concurrently, one goroutine per instance
-// on its own machine — the batched scale-up path. Instances are added
-// to the fleet in id order so runs stay deterministic. On any failure
-// the successful boots are closed and the first error returned.
+// bootBatch boots n instances concurrently on their own machines under
+// the bounded worker pool — the batched scale-up path. Ids are assigned
+// up front and instances are added to the fleet in id order so runs
+// stay deterministic. On any failure the successful boots are closed
+// and the first error returned.
 func (p *Pool) bootBatch(n int) ([]*instance, error) {
 	if n <= 0 {
 		return nil, nil
 	}
 	insts := make([]*instance, n)
 	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		id := p.nextID
-		p.nextID++
-		wg.Add(1)
-		go func(slot, id int) {
-			defer wg.Done()
-			vm, err := p.spawn(id)
-			if err != nil {
-				errs[slot] = err
-				return
-			}
-			insts[slot] = &instance{id: id, vm: vm, bootDur: vm.Report.Total()}
-		}(i, id)
-	}
-	wg.Wait()
+	firstID := p.nextID
+	p.nextID += n
+	sim.ParallelFor(n, func(slot int) {
+		id := firstID + slot
+		vm, err := p.spawn(id)
+		if err != nil {
+			errs[slot] = err
+			return
+		}
+		insts[slot] = &instance{id: id, vm: vm, bootDur: vm.Report.Total()}
+	})
 	for _, err := range errs {
 		if err != nil {
 			for _, inst := range insts {

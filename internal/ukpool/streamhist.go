@@ -1,0 +1,131 @@
+package ukpool
+
+import (
+	"fmt"
+	"slices"
+	"time"
+)
+
+// StreamHist is the streaming form of Histogram: the same log-bucketed
+// latency summary, stored sparsely. A dense Histogram carries its full
+// bucket array (2KB) whether it holds one observation or a billion;
+// per-window latency series over long traces accumulate thousands of
+// windows, each populated by a narrow latency band, so the series layer
+// records into StreamHists instead — memory scales with the buckets a
+// window actually touched, not with the trace length.
+//
+// Record, Merge and Quantile reproduce Histogram's integer bucket math
+// exactly (same bucketOf/bucketLow, same rank rule), so a series built
+// from StreamHists is bit-for-bit the summary the dense form would have
+// produced — TestStreamHistMatchesHistogram holds the two against each
+// other observation-for-observation.
+type StreamHist struct {
+	Count uint64
+	Sum   time.Duration
+	MinV  time.Duration
+	MaxV  time.Duration
+	// idx holds the occupied bucket indices in ascending order; cnt[i]
+	// is the count for bucket idx[i].
+	idx      []uint16
+	cnt      []uint32
+	overflow uint64
+}
+
+// add folds n observations into bucket i, keeping idx sorted.
+func (h *StreamHist) add(i int, n uint32) {
+	if i >= histBuckets {
+		h.overflow += uint64(n)
+		return
+	}
+	at, ok := slices.BinarySearch(h.idx, uint16(i))
+	if ok {
+		h.cnt[at] += n
+		return
+	}
+	h.idx = slices.Insert(h.idx, at, uint16(i))
+	h.cnt = slices.Insert(h.cnt, at, n)
+}
+
+// Record adds one observation, clamping negatives to zero exactly like
+// Histogram.Record.
+func (h *StreamHist) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if h.Count == 0 || d < h.MinV {
+		h.MinV = d
+	}
+	if d > h.MaxV {
+		h.MaxV = d
+	}
+	h.Count++
+	h.Sum += d
+	h.add(bucketOf(uint64(d)), 1)
+}
+
+// Merge folds another streaming histogram into h bucket-wise. Like
+// Histogram.Merge, the result is independent of merge order grouping.
+func (h *StreamHist) Merge(o *StreamHist) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.MinV < h.MinV {
+		h.MinV = o.MinV
+	}
+	if o.MaxV > h.MaxV {
+		h.MaxV = o.MaxV
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i, b := range o.idx {
+		h.add(int(b), o.cnt[i])
+	}
+	h.overflow += o.overflow
+}
+
+// Mean reports the average observation, or 0 when empty.
+func (h *StreamHist) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// Quantile reports the value at quantile q in [0, 1] with Histogram's
+// exact rank and clamp rules (bucket lower bound, min/max clamped).
+func (h *StreamHist) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.Count-1))
+	var seen uint64
+	for i, c := range h.cnt {
+		seen += uint64(c)
+		if seen > rank {
+			lo := time.Duration(bucketLow(int(h.idx[i])))
+			if lo < h.MinV {
+				lo = h.MinV
+			}
+			if lo > h.MaxV {
+				lo = h.MaxV
+			}
+			return lo
+		}
+	}
+	return h.MaxV
+}
+
+// String renders the same five-number summary as Histogram.String.
+func (h *StreamHist) String() string {
+	if h.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%v p50=%v p90=%v p99=%v max=%v",
+		h.Count, h.MinV, h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.MaxV)
+}

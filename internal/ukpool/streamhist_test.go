@@ -1,0 +1,81 @@
+package ukpool
+
+import (
+	"testing"
+	"time"
+
+	"unikraft/internal/sim"
+)
+
+// TestStreamHistMatchesHistogram drives the sparse streaming histogram
+// and the dense one with identical observation streams — log-spread
+// values, duplicates, zeros, negatives, the bucket-overflow edge — and
+// requires identical summaries at every step, including after
+// order-shuffled merges. This is the byte-identity contract the series
+// layer relies on when it swaps the dense form out.
+func TestStreamHistMatchesHistogram(t *testing.T) {
+	check := func(t *testing.T, s *StreamHist, d *Histogram) {
+		t.Helper()
+		if s.Count != d.Count || s.Sum != d.Sum || s.MinV != d.MinV || s.MaxV != d.MaxV {
+			t.Fatalf("summary diverged: sparse (n=%d sum=%v min=%v max=%v), dense (n=%d sum=%v min=%v max=%v)",
+				s.Count, s.Sum, s.MinV, s.MaxV, d.Count, d.Sum, d.MinV, d.MaxV)
+		}
+		for _, q := range []float64{-1, 0, 0.25, 0.5, 0.9, 0.99, 0.999, 1, 2} {
+			if sv, dv := s.Quantile(q), d.Quantile(q); sv != dv {
+				t.Fatalf("Quantile(%v) = %v sparse, %v dense", q, sv, dv)
+			}
+		}
+		if s.Mean() != d.Mean() {
+			t.Fatalf("Mean = %v sparse, %v dense", s.Mean(), d.Mean())
+		}
+		if s.String() != d.String() {
+			t.Fatalf("String = %q sparse, %q dense", s.String(), d.String())
+		}
+	}
+
+	t.Run("empty", func(t *testing.T) { check(t, &StreamHist{}, &Histogram{}) })
+
+	t.Run("stream", func(t *testing.T) {
+		rng := sim.NewRand(7)
+		var s StreamHist
+		var d Histogram
+		for i := 0; i < 20_000; i++ {
+			// Log-uniform spread exercises every bucket scale; the shift
+			// past 62 bits lands in the overflow counter.
+			v := time.Duration(rng.Uint64() >> (rng.Intn(66)))
+			if rng.Bool(0.05) {
+				v = -v // negative clamps to zero in both
+			}
+			s.Record(v)
+			d.Record(v)
+			if i%997 == 0 {
+				check(t, &s, &d)
+			}
+		}
+		check(t, &s, &d)
+	})
+
+	t.Run("merge-order-independent", func(t *testing.T) {
+		rng := sim.NewRand(11)
+		const parts = 8
+		sparse := make([]StreamHist, parts)
+		dense := make([]Histogram, parts)
+		for i := 0; i < 10_000; i++ {
+			p := rng.Intn(parts)
+			v := time.Duration(rng.Uint64() >> (20 + rng.Intn(30)))
+			sparse[p].Record(v)
+			dense[p].Record(v)
+		}
+		var sFwd, sRev StreamHist
+		var dFwd Histogram
+		for p := 0; p < parts; p++ {
+			sFwd.Merge(&sparse[p])
+			sRev.Merge(&sparse[parts-1-p])
+			dFwd.Merge(&dense[p])
+		}
+		check(t, &sFwd, &dFwd)
+		if sFwd.Count != sRev.Count || sFwd.Quantile(0.99) != sRev.Quantile(0.99) || sFwd.String() != sRev.String() {
+			t.Fatal("sparse merge depends on merge order")
+		}
+	})
+}
